@@ -1,0 +1,71 @@
+// Command virec-asm assembles and disassembles programs for the
+// simulator's AArch64-flavoured ISA, and can run them functionally.
+//
+// Usage:
+//
+//	virec-asm file.s              # assemble, print the listing
+//	virec-asm -run file.s         # assemble and interpret until HALT
+//	virec-asm -workload gather    # disassemble a built-in kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/interp"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/workloads"
+)
+
+func main() {
+	var (
+		run      = flag.Bool("run", false, "interpret the program until HALT")
+		workload = flag.String("workload", "", "disassemble a built-in kernel instead of reading a file")
+		maxInsts = flag.Uint64("max-insts", 100_000_000, "interpreter instruction budget")
+	)
+	flag.Parse()
+
+	var prog *asm.Program
+	switch {
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "virec-asm: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		prog = w.Prog
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "virec-asm:", err)
+			os.Exit(1)
+		}
+		prog, err = asm.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "virec-asm:", err)
+			os.Exit(1)
+		}
+		prog.Name = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: virec-asm [-run] file.s | virec-asm -workload name")
+		os.Exit(2)
+	}
+
+	fmt.Printf("// %s: %d instructions\n", prog.Name, prog.Len())
+	fmt.Print(asm.Disassemble(prog))
+
+	if *run {
+		var ctx interp.Context
+		m := mem.NewMemory()
+		res := interp.Run(prog, &ctx, m, *maxInsts, nil)
+		fmt.Printf("\nexecuted %d instructions (halted=%v)\n", res.Insts, res.Halted)
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if v := ctx.Get(r); v != 0 {
+				fmt.Printf("  %-4s = %#x (%d)\n", r, v, v)
+			}
+		}
+	}
+}

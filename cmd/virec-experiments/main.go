@@ -1,0 +1,66 @@
+// Command virec-experiments regenerates the tables and figures of the
+// ViReC paper's evaluation.
+//
+// Usage:
+//
+//	virec-experiments -list
+//	virec-experiments -exp fig12
+//	virec-experiments -exp all -quick
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/virec/virec/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment to run (or 'all')")
+		list   = flag.Bool("list", false, "list available experiments")
+		quick  = flag.Bool("quick", false, "smaller sweeps for a fast run")
+		iters  = flag.Int("iters", 0, "override per-thread iteration count")
+		format = flag.String("format", "text", "output format: text|csv|json")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Printf("  %-10s %s\n", n, experiments.Title(n))
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, Iters: *iters}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		rep, err := experiments.Run(name, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "virec-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(rep.CSV())
+		case "json":
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "virec-experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+		default:
+			fmt.Println(rep.String())
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command virec-sim runs a single near-memory simulation and prints its
+// statistics.
+//
+// Usage:
+//
+//	virec-sim -workload gather -kind virec -threads 8 -ctx 60
+//	virec-sim -workload spmv -kind banked -cores 4
+//	virec-sim -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/stats"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "gather", "kernel to run")
+		kindName  = flag.String("kind", "virec", "core kind: banked|virec|software|prefetch-full|prefetch-exact")
+		cores     = flag.Int("cores", 1, "number of near-memory processors")
+		threads   = flag.Int("threads", 8, "hardware threads per core")
+		iters     = flag.Int("iters", 256, "inner-loop iterations per thread")
+		ctx       = flag.Int("ctx", 100, "ViReC context percentage (40-100)")
+		physRegs  = flag.Int("regs", 0, "ViReC physical registers (overrides -ctx)")
+		policy    = flag.String("policy", "LRC", "replacement policy: PLRU|LRU|MRT-PLRU|MRT-LRU|LRC")
+		dcacheKB  = flag.Int("dcache-kb", 8, "dcache size in KB")
+		dcacheLat = flag.Int("dcache-lat", 2, "dcache hit latency in cycles")
+		validate  = flag.Bool("validate", true, "golden-model value checking")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		trace     = flag.String("trace", "", "write a pipeline event trace (switches, loads, cancels) to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range workloads.All() {
+			fmt.Printf("  %-10s [%s] %s (active regs: %d)\n",
+				w.Name, w.Suite, w.Description, len(w.ActiveRegs()))
+		}
+		return
+	}
+
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "virec-sim: unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+	kind, err := sim.ParseCoreKind(*kindName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virec-sim:", err)
+		os.Exit(2)
+	}
+	pol, err := vrmu.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virec-sim:", err)
+		os.Exit(2)
+	}
+
+	cfg := sim.Config{
+		Kind:             kind,
+		Cores:            *cores,
+		ThreadsPerCore:   *threads,
+		Workload:         w,
+		Iters:            *iters,
+		ContextPct:       *ctx,
+		PhysRegs:         *physRegs,
+		Policy:           pol,
+		DCacheBytes:      *dcacheKB * 1024,
+		DCacheHitLatency: *dcacheLat,
+		ValidateValues:   *validate,
+	}
+	system, err := sim.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virec-sim:", err)
+		os.Exit(1)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "virec-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		for i, core := range system.Cores {
+			id := i
+			core.SetTrace(func(cy uint64, ev string) {
+				fmt.Fprintf(w, "%10d core%d %s\n", cy, id, ev)
+			})
+		}
+	}
+	res, err := system.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virec-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s: %d cores x %d threads x %d iters\n",
+		kind, w.Name, *cores, *threads, *iters)
+	fmt.Printf("cycles: %d   insts: %d   IPC: %.4f\n", res.Cycles, res.Insts, res.IPC)
+
+	t := stats.NewTable("core", "insts", "ipc", "switches", "reg_stalls", "fwd_stalls", "dcache_hit%")
+	for i, cs := range res.CoreStats {
+		t.AddRow(i, cs.Insts, cs.IPC(), cs.ContextSwitches,
+			cs.DecodeRegStalls, cs.DecodeFwdStalls,
+			100*res.CacheStats[i].HitRate())
+	}
+	fmt.Print(t.String())
+
+	if len(res.TagStats) > 0 {
+		rt := stats.NewTable("core", "rf_hit%", "evictions", "dirty_evicts", "c_resets")
+		for i, ts := range res.TagStats {
+			rt.AddRow(i, 100*ts.HitRate(), ts.Evictions, ts.DirtyEvict, ts.CResets)
+		}
+		fmt.Print(rt.String())
+	}
+	if res.DRAMStats != nil {
+		fmt.Printf("dram: %d reads, %d writes, avg read latency %.1f cycles, row hits %d / misses %d / conflicts %d\n",
+			res.DRAMStats.Reads, res.DRAMStats.Writes, res.DRAMStats.AvgReadLatency(),
+			res.DRAMStats.RowHits, res.DRAMStats.RowMisses, res.DRAMStats.RowConflicts)
+	}
+	fmt.Println("verification: all threads match the golden model")
+}

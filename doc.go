@@ -1,0 +1,18 @@
+// Package virec is a from-scratch reproduction of "ViReC: The Virtual
+// Register Context Architecture for Efficient Near-Memory Multithreading"
+// (Barondeau, Jiang, Beard, Gerstlauer — ICPP 2025).
+//
+// The module contains a deterministic cycle-level simulator for
+// coarse-grain multithreaded near-memory processors whose register file
+// is virtualized and used as a cache of partial thread contexts (the
+// ViReC architecture), together with the banked, software-switched and
+// prefetching baselines the paper compares against, the memory-intensive
+// benchmark kernels it evaluates on, an analytical area/delay model, and
+// an experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Start with the README, the examples/ directory, or:
+//
+//	go run ./cmd/virec-sim -list
+//	go run ./cmd/virec-experiments -list
+package virec

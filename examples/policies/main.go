@@ -1,0 +1,56 @@
+// Policies: a replacement-policy shootout on one kernel, showing why the
+// Least Recently Committed policy exists (the paper's Section 4 and
+// Figure 12 in miniature).
+//
+//	go run ./examples/policies [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/stats"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
+)
+
+func main() {
+	name := "gather"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q (options: %v)", name, workloads.Names())
+	}
+
+	const threads, iters, ctxPct = 8, 256, 60
+	fmt.Printf("%s: %d threads, %d%% context storage\n\n", w.Name, threads, ctxPct)
+
+	t := stats.NewTable("policy", "cycles", "speedup_vs_PLRU", "rf_hit%", "evictions")
+	var base uint64
+	for _, pol := range vrmu.AllPolicies() {
+		res, err := sim.Simulate(sim.Config{
+			Kind: sim.ViReC, ThreadsPerCore: threads,
+			Workload: w, Iters: iters,
+			ContextPct: ctxPct, Policy: pol, ValidateValues: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pol == vrmu.PLRU {
+			base = res.Cycles
+		}
+		ts := res.TagStats[0]
+		t.AddRow(pol.String(), res.Cycles, float64(base)/float64(res.Cycles),
+			100*ts.HitRate(), ts.Evictions)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nScheduling-oblivious policies (PLRU, LRU) evict registers of the")
+	fmt.Println("thread about to run next under round-robin scheduling; the MRT")
+	fmt.Println("variants target the most recently suspended thread instead, and LRC")
+	fmt.Println("additionally protects registers of flushed (to-be-replayed)")
+	fmt.Println("instructions using the commit bit.")
+}

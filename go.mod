@@ -1,0 +1,3 @@
+module github.com/virec/virec
+
+go 1.24

@@ -1,0 +1,130 @@
+// Package area provides the analytical area and delay model behind the
+// paper's Figures 1 and 14 and Section 6.2. The paper combines CACTI 6.0
+// estimates with 45nm FreePDK synthesis; neither tool is available here,
+// so this model is calibrated to the anchor points the paper reports:
+//
+//   - the CVA6-derived in-order baseline core;
+//   - the Arm-N1-derived OoO core at 19.1x the in-order area;
+//   - a banked core: 2.8 mm^2 at 8 banks and 3.9 mm^2 at 16 banks
+//     (64 registers per bank);
+//   - a ViReC core with 8 registers per thread at 8-16 threads: 1.7 mm^2,
+//     a ~20% overhead over the baseline with up to 40% savings vs banked;
+//   - ViReC tag-store (CAM) area growing superlinearly with entries, so
+//     full-context ViReC configurations overtake banked register files;
+//   - register-file read delay: 0.22 ns baseline, ~0.24 ns (+10%) for an
+//     80-entry ViReC register file.
+//
+// All areas are mm^2 at 45nm; delays are ns.
+package area
+
+import "math"
+
+// Model holds the calibrated coefficients. The zero value is unusable;
+// start from Default.
+type Model struct {
+	// InOBase is the baseline single-threaded in-order core (CVA6-like,
+	// 32 registers) including its caches.
+	InOBase float64
+	// OoOFactor scales the in-order core to the OoO core (N1-like).
+	OoOFactor float64
+	// RegArea is the register-file area per 64-bit register (linear).
+	RegArea float64
+	// BankOverhead is the fixed per-bank cost (decoders, ports).
+	BankOverhead float64
+	// CAMCoeff and CAMExp model the VRMU tag store: CAMCoeff * n^CAMExp.
+	CAMCoeff float64
+	CAMExp   float64
+	// RollbackFrac is the rollback queue + VRMU logic as a fraction of
+	// the register-file area (paper: under 10%).
+	RollbackFrac float64
+	// BankRegs is the register count of one bank (32 int + 32 fp).
+	BankRegs int
+
+	// DelayBase is the baseline RF read delay in ns; DelayCAMCoeff adds
+	// the CAM search delay growing with sqrt(entries).
+	DelayBase     float64
+	DelayCAMCoeff float64
+	// DelayBankCoeff grows banked RF delay with bank count.
+	DelayBankCoeff float64
+}
+
+// Default returns the model calibrated to the paper's anchors.
+func Default() Model {
+	return Model{
+		InOBase:      1.42,
+		OoOFactor:    19.1,
+		RegArea:      0.0027,
+		BankOverhead: 0.006,
+		CAMCoeff:     2.67e-4,
+		CAMExp:       1.4,
+		RollbackFrac: 0.10,
+		BankRegs:     64,
+
+		DelayBase:      0.22,
+		DelayCAMCoeff:  0.0027,
+		DelayBankCoeff: 0.002,
+	}
+}
+
+// InOCore returns the baseline in-order core area.
+func (m Model) InOCore() float64 { return m.InOBase }
+
+// OoOCore returns the out-of-order core area.
+func (m Model) OoOCore() float64 { return m.InOBase * m.OoOFactor }
+
+// bankArea is one register bank.
+func (m Model) bankArea() float64 {
+	return float64(m.BankRegs)*m.RegArea + m.BankOverhead
+}
+
+// BankedCore returns the area of an in-order core with `banks` full
+// register banks (one per hardware thread). The baseline core already
+// contains one bank, so `banks-1` are added.
+func (m Model) BankedCore(banks int) float64 {
+	if banks < 1 {
+		banks = 1
+	}
+	return m.InOBase + float64(banks-1)*m.bankArea()
+}
+
+// BankedRegsCore returns the area of a banked core with a total register
+// budget (rounded up to whole banks) — the "banked 256/512 registers"
+// configurations of Figure 1.
+func (m Model) BankedRegsCore(totalRegs int) float64 {
+	banks := (totalRegs + m.BankRegs - 1) / m.BankRegs
+	return m.BankedCore(banks)
+}
+
+// ViReCOverhead returns the area the VRMU adds over the baseline core for
+// a physical register file of n entries: the RF itself, the CAM tag
+// store, and the rollback queue/logic.
+func (m Model) ViReCOverhead(n int) float64 {
+	rf := float64(n) * m.RegArea
+	cam := m.CAMCoeff * math.Pow(float64(n), m.CAMExp)
+	return rf*(1+m.RollbackFrac) + cam
+}
+
+// ViReCCore returns the area of a ViReC core with n physical registers.
+// The baseline's own 32-register file is replaced by the virtualized one,
+// so its area is credited back.
+func (m Model) ViReCCore(n int) float64 {
+	baseRF := 32 * m.RegArea
+	return m.InOBase - baseRF + m.ViReCOverhead(n)
+}
+
+// MultiCore returns the area of k replicated cores.
+func MultiCore(coreArea float64, k int) float64 { return coreArea * float64(k) }
+
+// ViReCDelayNs returns the RF access delay of an n-entry ViReC register
+// file (CAM search plus RF read).
+func (m Model) ViReCDelayNs(n int) float64 {
+	return m.DelayBase + m.DelayCAMCoeff*math.Sqrt(float64(n))
+}
+
+// BankedDelayNs returns the RF access delay of a banked register file.
+func (m Model) BankedDelayNs(banks int) float64 {
+	if banks < 1 {
+		banks = 1
+	}
+	return m.DelayBase + m.DelayBankCoeff*float64(banks-1)
+}

@@ -1,0 +1,106 @@
+package area
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperAnchors(t *testing.T) {
+	m := Default()
+
+	// OoO is 19.1x the in-order core.
+	if r := m.OoOCore() / m.InOCore(); r < 19.0 || r > 19.2 {
+		t.Errorf("OoO/InO area ratio = %.2f, want ~19.1", r)
+	}
+
+	// Banked: ~2.8 mm^2 at 8 banks, ~3.9 at 16 (paper Section 6.2).
+	if a := m.BankedCore(8); a < 2.4 || a > 3.2 {
+		t.Errorf("8-bank core = %.2f mm^2, want ~2.8", a)
+	}
+	if a := m.BankedCore(16); a < 3.4 || a > 4.4 {
+		t.Errorf("16-bank core = %.2f mm^2, want ~3.9", a)
+	}
+
+	// ViReC with 8 regs/thread at 8 threads: ~1.7 mm^2, >=30% below banked.
+	v := m.ViReCCore(8 * 8)
+	if v < 1.5 || v > 1.9 {
+		t.Errorf("ViReC 64-entry core = %.2f mm^2, want ~1.7", v)
+	}
+	saving := 1 - v/m.BankedCore(8)
+	if saving < 0.30 {
+		t.Errorf("ViReC saving vs 8-bank = %.0f%%, want >= 30%%", saving*100)
+	}
+
+	// ViReC overhead over baseline ~20%.
+	over := v/m.InOCore() - 1
+	if over < 0.05 || over > 0.35 {
+		t.Errorf("ViReC overhead over baseline = %.0f%%, want ~20%%", over*100)
+	}
+}
+
+func TestCAMOvertakesBanksAtFullContext(t *testing.T) {
+	m := Default()
+	// Storing full 64-register contexts for 8 threads in the CAM-managed
+	// RF must cost more than 8 banks (the paper's Figure 14 crossover).
+	full := m.ViReCCore(8 * 64)
+	banked := m.BankedCore(8)
+	if full <= banked {
+		t.Errorf("full-context ViReC %.2f <= banked %.2f; CAM scaling missing", full, banked)
+	}
+	// But small contexts must stay cheaper.
+	small := m.ViReCCore(8 * 8)
+	if small >= banked {
+		t.Errorf("small-context ViReC %.2f >= banked %.2f", small, banked)
+	}
+}
+
+func TestDelayAnchors(t *testing.T) {
+	m := Default()
+	d := m.ViReCDelayNs(80)
+	if d < 0.23 || d > 0.25 {
+		t.Errorf("80-entry ViReC delay = %.3f ns, want ~0.24", d)
+	}
+	if b := m.BankedDelayNs(1); b != m.DelayBase {
+		t.Errorf("single-bank delay = %v, want base %v", b, m.DelayBase)
+	}
+	if m.BankedDelayNs(8) <= m.BankedDelayNs(1) {
+		t.Error("banked delay must grow with banks")
+	}
+}
+
+// Property: areas and delays are monotone in their size parameter.
+func TestMonotonicityProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b uint8) bool {
+		x, y := int(a%200)+1, int(b%200)+1
+		if x > y {
+			x, y = y, x
+		}
+		if m.ViReCCore(x) > m.ViReCCore(y)+1e-12 {
+			return false
+		}
+		if m.BankedCore(x) > m.BankedCore(y)+1e-12 {
+			return false
+		}
+		return m.ViReCDelayNs(x) <= m.ViReCDelayNs(y)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankedRegsCoreRoundsUp(t *testing.T) {
+	m := Default()
+	if m.BankedRegsCore(256) != m.BankedCore(4) {
+		t.Error("256 regs must be 4 banks")
+	}
+	if m.BankedRegsCore(257) != m.BankedCore(5) {
+		t.Error("257 regs must round up to 5 banks")
+	}
+}
+
+func TestMultiCore(t *testing.T) {
+	if MultiCore(1.5, 8) != 12 {
+		t.Error("MultiCore scaling wrong")
+	}
+}

@@ -1,0 +1,712 @@
+// Package asm provides a two-pass assembler and disassembler for the isa
+// package's instruction set. It exists so workloads and tests can be
+// written as readable assembly text instead of instruction literals.
+//
+// Syntax is AArch64-flavoured:
+//
+//	// gather inner loop
+//	loop:
+//	    ldrsw x6, [x2, x5, lsl #2]   ; indirect index load
+//	    ldr   x7, [x3, x6, lsl #3]
+//	    add   x4, x4, x7
+//	    add   x5, x5, #1
+//	    cmp   x5, x1
+//	    b.lt  loop
+//	    halt
+//
+// Comments start with "//", ";" or "#" at the start of a token. Labels end
+// with ':' and may share a line with an instruction. Branch targets are
+// labels or absolute instruction indices.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/virec/virec/internal/isa"
+)
+
+// Program is an assembled instruction sequence plus its label table.
+type Program struct {
+	Insts  []isa.Inst
+	Labels map[string]int // label -> instruction index
+	Name   string
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// At returns the instruction at index i, or a HALT if out of range, so a
+// runaway PC self-terminates rather than panicking the simulator.
+func (p *Program) At(i int) *isa.Inst {
+	if i < 0 || i >= len(p.Insts) {
+		return &haltInst
+	}
+	return &p.Insts[i]
+}
+
+var haltInst = isa.Inst{Op: isa.HALT}
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type assembler struct {
+	prog    *Program
+	fixups  []fixup // unresolved label references
+	lineNum int
+}
+
+type fixup struct {
+	instIdx int
+	label   string
+	line    int
+}
+
+// Assemble parses source text into a Program.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{prog: &Program{Labels: make(map[string]int)}}
+	for i, line := range strings.Split(src, "\n") {
+		a.lineNum = i + 1
+		if err := a.line(line); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range a.fixups {
+		idx, ok := a.prog.Labels[f.label]
+		if !ok {
+			return nil, &Error{f.line, fmt.Sprintf("undefined label %q", f.label)}
+		}
+		a.prog.Insts[f.instIdx].Target = int32(idx)
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble that panics on error, for static program tables.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	p.Name = name
+	return p
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{a.lineNum, fmt.Sprintf(format, args...)}
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{"//", ";", "#"} {
+		// '#' only starts a comment at the beginning of a token, not
+		// inside an immediate like "#42".
+		idx := -1
+		switch marker {
+		case "#":
+			for j := 0; j < len(line); j++ {
+				if line[j] == '#' && (j == 0 || line[j-1] == ' ' || line[j-1] == '\t') {
+					// An immediate '#' is always preceded by a space too;
+					// treat "# " or "#<alpha beyond digits/-" as comment.
+					rest := line[j+1:]
+					if len(rest) == 0 || !isImmStart(rest[0]) {
+						idx = j
+					}
+				}
+				if idx >= 0 {
+					break
+				}
+			}
+		default:
+			idx = strings.Index(line, marker)
+		}
+		if idx >= 0 {
+			line = line[:idx]
+		}
+	}
+	return line
+}
+
+func isImmStart(c byte) bool {
+	return c >= '0' && c <= '9' || c == '-' || c == '+' || c == 'x'
+}
+
+func (a *assembler) line(line string) error {
+	line = strings.TrimSpace(stripComment(line))
+	if line == "" {
+		return nil
+	}
+	// Labels, possibly followed by an instruction on the same line.
+	for {
+		colon := strings.Index(line, ":")
+		if colon < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:colon])
+		if !isIdent(label) {
+			return a.errf("bad label %q", label)
+		}
+		if _, dup := a.prog.Labels[label]; dup {
+			return a.errf("duplicate label %q", label)
+		}
+		a.prog.Labels[label] = len(a.prog.Insts)
+		line = strings.TrimSpace(line[colon+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	return a.inst(line)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "x0, [x1, x2, lsl #3]" into {"x0", "[x1, x2, lsl #3]"}.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func (a *assembler) inst(line string) error {
+	mnem := line
+	rest := ""
+	if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+		mnem, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	ops := splitOperands(rest)
+
+	in, err := a.parseInst(mnem, ops)
+	if err != nil {
+		return err
+	}
+	a.prog.Insts = append(a.prog.Insts, in)
+	return nil
+}
+
+func (a *assembler) reg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "xzr", "wzr":
+		return isa.XZR, nil
+	case "sp":
+		return isa.SP, nil
+	case "lr":
+		return isa.X30, nil
+	}
+	if len(s) >= 2 && (s[0] == 'x' || s[0] == 'w') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 30 {
+			return isa.Reg(n), nil
+		}
+	}
+	if len(s) >= 2 && (s[0] == 'd' || s[0] == 'v') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 31 {
+			return isa.V0 + isa.Reg(n), nil
+		}
+	}
+	return 0, a.errf("bad register %q", s)
+}
+
+func (a *assembler) imm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "#")
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, a.errf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func isImm(s string) bool {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "#") {
+		return true
+	}
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c >= '0' && c <= '9' || c == '-'
+}
+
+// target parses a branch target: a label (deferred to fixup) or an index.
+func (a *assembler) target(idx int, s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	if n, err := strconv.Atoi(s); err == nil {
+		return int32(n), nil
+	}
+	if !isIdent(s) {
+		return 0, a.errf("bad branch target %q", s)
+	}
+	a.fixups = append(a.fixups, fixup{instIdx: idx, label: s, line: a.lineNum})
+	return 0, nil
+}
+
+// parseAddr parses "[rn]", "[rn, #imm]", "[rn, rm]", "[rn, rm, lsl #s]".
+func (a *assembler) parseAddr(in *isa.Inst, s string) error {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return a.errf("bad address %q", s)
+	}
+	parts := splitOperands(s[1 : len(s)-1])
+	switch len(parts) {
+	case 1:
+		rn, err := a.reg(parts[0])
+		if err != nil {
+			return err
+		}
+		in.Rn, in.Mode, in.Imm = rn, isa.AddrImm, 0
+	case 2:
+		rn, err := a.reg(parts[0])
+		if err != nil {
+			return err
+		}
+		in.Rn = rn
+		if isImm(parts[1]) {
+			v, err := a.imm(parts[1])
+			if err != nil {
+				return err
+			}
+			in.Mode, in.Imm = isa.AddrImm, v
+		} else {
+			rm, err := a.reg(parts[1])
+			if err != nil {
+				return err
+			}
+			in.Mode, in.Rm = isa.AddrReg, rm
+		}
+	case 3:
+		rn, err := a.reg(parts[0])
+		if err != nil {
+			return err
+		}
+		rm, err := a.reg(parts[1])
+		if err != nil {
+			return err
+		}
+		shiftPart := strings.ToLower(strings.TrimSpace(parts[2]))
+		if !strings.HasPrefix(shiftPart, "lsl") {
+			return a.errf("bad address shift %q", parts[2])
+		}
+		sh, err := a.imm(strings.TrimSpace(shiftPart[3:]))
+		if err != nil {
+			return err
+		}
+		in.Rn, in.Rm, in.Mode, in.Shift = rn, rm, isa.AddrRegShift, uint8(sh)
+	default:
+		return a.errf("bad address %q", s)
+	}
+	return nil
+}
+
+var threeOpRegs = map[string]isa.Op{
+	"mul": isa.MUL, "udiv": isa.UDIV, "sdiv": isa.SDIV,
+	"lslv": isa.LSLV, "lsrv": isa.LSRV, "asrv": isa.ASRV,
+	"fadd": isa.FADD, "fsub": isa.FSUB, "fmul": isa.FMUL, "fdiv": isa.FDIV,
+}
+
+var twoOpRegs = map[string]isa.Op{
+	"fneg": isa.FNEG, "fabs": isa.FABS, "fsqrt": isa.FSQRT,
+	"fmov": isa.FMOV, "scvtf": isa.SCVTF, "fcvtzs": isa.FCVTZS,
+}
+
+var regOrImm = map[string][2]isa.Op{ // mnemonic -> {reg form, imm form}
+	"add": {isa.ADD, isa.ADDI},
+	"sub": {isa.SUB, isa.SUBI},
+	"and": {isa.AND, isa.ANDI},
+	"orr": {isa.ORR, isa.ORRI},
+	"eor": {isa.EOR, isa.EORI},
+}
+
+var shiftImm = map[string]isa.Op{
+	"lsl": isa.LSLI, "lsr": isa.LSRI, "asr": isa.ASRI,
+}
+
+var condBranches = map[string]isa.Op{
+	"b.eq": isa.BEQ, "b.ne": isa.BNE, "b.lt": isa.BLT, "b.le": isa.BLE,
+	"b.gt": isa.BGT, "b.ge": isa.BGE, "b.lo": isa.BLO, "b.hs": isa.BHS,
+	"b.cc": isa.BLO, "b.cs": isa.BHS,
+}
+
+var loadStores = map[string]isa.Op{
+	"ldr": isa.LDR, "ldrw": isa.LDRW, "ldrsw": isa.LDRSW,
+	"ldrh": isa.LDRH, "ldrb": isa.LDRB,
+	"str": isa.STR, "strw": isa.STRW, "strh": isa.STRH, "strb": isa.STRB,
+}
+
+var conds = map[string]isa.Cond{
+	"eq": isa.CondEQ, "ne": isa.CondNE, "lt": isa.CondLT, "le": isa.CondLE,
+	"gt": isa.CondGT, "ge": isa.CondGE, "lo": isa.CondLO, "hs": isa.CondHS,
+}
+
+func (a *assembler) parseInst(mnem string, ops []string) (isa.Inst, error) {
+	var in isa.Inst
+	idx := len(a.prog.Insts)
+	riPair, riOK := regOrImm[mnem]
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	switch {
+	case mnem == "nop":
+		in.Op = isa.NOP
+		return in, need(0)
+	case mnem == "halt":
+		in.Op = isa.HALT
+		return in, need(0)
+	case mnem == "yield":
+		in.Op = isa.YIELD
+		return in, need(0)
+
+	case mnem == "ret":
+		in.Op, in.Rn = isa.RET, isa.X30
+		if len(ops) == 1 {
+			r, err := a.reg(ops[0])
+			if err != nil {
+				return in, err
+			}
+			in.Rn = r
+			return in, nil
+		}
+		return in, need(0)
+
+	case threeOpRegs[mnem] != 0:
+		in.Op = threeOpRegs[mnem]
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Rn, err = a.reg(ops[1]); err != nil {
+			return in, err
+		}
+		in.Rm, err = a.reg(ops[2])
+		return in, err
+
+	case twoOpRegs[mnem] != 0:
+		in.Op = twoOpRegs[mnem]
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		in.Rn, err = a.reg(ops[1])
+		return in, err
+
+	case mnem == "fcmp":
+		in.Op = isa.FCMP
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rn, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		in.Rm, err = a.reg(ops[1])
+		return in, err
+
+	case mnem == "madd" || mnem == "fmadd":
+		if mnem == "madd" {
+			in.Op = isa.MADD
+		} else {
+			in.Op = isa.FMADD
+		}
+		if err := need(4); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Rn, err = a.reg(ops[1]); err != nil {
+			return in, err
+		}
+		if in.Rm, err = a.reg(ops[2]); err != nil {
+			return in, err
+		}
+		in.Ra, err = a.reg(ops[3])
+		return in, err
+
+	case riOK:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Rn, err = a.reg(ops[1]); err != nil {
+			return in, err
+		}
+		if isImm(ops[2]) {
+			in.Op = riPair[1]
+			in.Imm, err = a.imm(ops[2])
+		} else {
+			in.Op = riPair[0]
+			in.Rm, err = a.reg(ops[2])
+		}
+		return in, err
+
+	case shiftImm[mnem] != 0:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Rn, err = a.reg(ops[1]); err != nil {
+			return in, err
+		}
+		if isImm(ops[2]) {
+			in.Op = shiftImm[mnem]
+			sh, err := a.imm(ops[2])
+			if err != nil {
+				return in, err
+			}
+			in.Shift = uint8(sh)
+			return in, nil
+		}
+		switch mnem {
+		case "lsl":
+			in.Op = isa.LSLV
+		case "lsr":
+			in.Op = isa.LSRV
+		case "asr":
+			in.Op = isa.ASRV
+		}
+		in.Rm, err = a.reg(ops[2])
+		return in, err
+
+	case mnem == "mov":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		if isImm(ops[1]) {
+			v, err := a.imm(ops[1])
+			if err != nil {
+				return in, err
+			}
+			if v < 0 || v > 0xffff {
+				return in, a.errf("mov immediate %d out of range; use movz/movk", v)
+			}
+			in.Op, in.Imm = isa.MOVZ, v
+			return in, nil
+		}
+		in.Op = isa.MOV
+		in.Rn, err = a.reg(ops[1])
+		return in, err
+
+	case mnem == "movz" || mnem == "movk":
+		if len(ops) != 2 && len(ops) != 3 {
+			return in, a.errf("%s wants 2 or 3 operands", mnem)
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = a.imm(ops[1]); err != nil {
+			return in, err
+		}
+		if in.Imm < 0 || in.Imm > 0xffff {
+			return in, a.errf("%s immediate %d out of 16-bit range", mnem, in.Imm)
+		}
+		if len(ops) == 3 {
+			s := strings.ToLower(strings.TrimSpace(ops[2]))
+			if !strings.HasPrefix(s, "lsl") {
+				return in, a.errf("bad %s shift %q", mnem, ops[2])
+			}
+			sh, err := a.imm(strings.TrimSpace(s[3:]))
+			if err != nil {
+				return in, err
+			}
+			if sh%16 != 0 || sh < 0 || sh > 48 {
+				return in, a.errf("%s shift must be 0/16/32/48", mnem)
+			}
+			in.Shift = uint8(sh / 16)
+		}
+		if mnem == "movz" {
+			in.Op = isa.MOVZ
+		} else {
+			in.Op = isa.MOVK
+		}
+		return in, nil
+
+	case mnem == "cmp":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rn, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		if isImm(ops[1]) {
+			in.Op = isa.CMPI
+			in.Imm, err = a.imm(ops[1])
+		} else {
+			in.Op = isa.CMP
+			in.Rm, err = a.reg(ops[1])
+		}
+		return in, err
+
+	case mnem == "tst":
+		in.Op = isa.TST
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rn, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		in.Rm, err = a.reg(ops[1])
+		return in, err
+
+	case mnem == "csel" || mnem == "csinc":
+		if mnem == "csel" {
+			in.Op = isa.CSEL
+		} else {
+			in.Op = isa.CSINC
+		}
+		if err := need(4); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Rn, err = a.reg(ops[1]); err != nil {
+			return in, err
+		}
+		if in.Rm, err = a.reg(ops[2]); err != nil {
+			return in, err
+		}
+		c, ok := conds[strings.ToLower(strings.TrimSpace(ops[3]))]
+		if !ok {
+			return in, a.errf("bad condition %q", ops[3])
+		}
+		in.Cond = c
+		return in, nil
+
+	case mnem == "b" || mnem == "bl":
+		if mnem == "b" {
+			in.Op = isa.B
+		} else {
+			in.Op = isa.BL
+		}
+		if err := need(1); err != nil {
+			return in, err
+		}
+		t, err := a.target(idx, ops[0])
+		in.Target = t
+		return in, err
+
+	case condBranches[mnem] != 0:
+		in.Op = condBranches[mnem]
+		if err := need(1); err != nil {
+			return in, err
+		}
+		t, err := a.target(idx, ops[0])
+		in.Target = t
+		return in, err
+
+	case mnem == "cbz" || mnem == "cbnz":
+		if mnem == "cbz" {
+			in.Op = isa.CBZ
+		} else {
+			in.Op = isa.CBNZ
+		}
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rn, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		t, err := a.target(idx, ops[1])
+		in.Target = t
+		return in, err
+
+	case loadStores[mnem] != 0:
+		in.Op = loadStores[mnem]
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return in, err
+		}
+		return in, a.parseAddr(&in, ops[1])
+	}
+
+	return in, a.errf("unknown mnemonic %q", mnem)
+}
+
+// Disassemble renders a program back to text, one instruction per line,
+// with labels reconstructed as "Ln:" markers at branch targets.
+func Disassemble(p *Program) string {
+	targets := make(map[int32]bool)
+	for i := range p.Insts {
+		if p.Insts[i].IsBranch() && p.Insts[i].Op != isa.RET {
+			targets[p.Insts[i].Target] = true
+		}
+	}
+	var b strings.Builder
+	for i := range p.Insts {
+		if targets[int32(i)] {
+			fmt.Fprintf(&b, "L%d:\n", i)
+		}
+		fmt.Fprintf(&b, "\t%s\n", p.Insts[i].String())
+	}
+	return b.String()
+}

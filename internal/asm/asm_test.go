@@ -1,0 +1,407 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/virec/virec/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasicOps(t *testing.T) {
+	p := mustAsm(t, `
+		add x0, x1, x2
+		add x3, x4, #16
+		sub x5, x6, x7
+		mul x8, x9, x10
+		madd x0, x1, x2, x3
+		and x1, x2, #0xff
+		lsl x1, x2, #3
+		lsr x3, x4, x5
+		mov x0, x1
+		mov x2, #42
+		movz x3, #1, lsl #16
+		movk x3, #2, lsl #32
+		nop
+		halt
+	`)
+	want := []isa.Op{
+		isa.ADD, isa.ADDI, isa.SUB, isa.MUL, isa.MADD, isa.ANDI,
+		isa.LSLI, isa.LSRV, isa.MOV, isa.MOVZ, isa.MOVZ, isa.MOVK,
+		isa.NOP, isa.HALT,
+	}
+	if len(p.Insts) != len(want) {
+		t.Fatalf("got %d insts, want %d", len(p.Insts), len(want))
+	}
+	for i, op := range want {
+		if p.Insts[i].Op != op {
+			t.Errorf("inst %d: op = %s, want %s", i, p.Insts[i].Op, op)
+		}
+	}
+	if p.Insts[1].Imm != 16 {
+		t.Errorf("addi imm = %d, want 16", p.Insts[1].Imm)
+	}
+	if p.Insts[5].Imm != 0xff {
+		t.Errorf("andi imm = %d, want 255", p.Insts[5].Imm)
+	}
+	if p.Insts[10].Shift != 1 {
+		t.Errorf("movz shift = %d, want 1", p.Insts[10].Shift)
+	}
+}
+
+func TestAssembleLoadsStores(t *testing.T) {
+	p := mustAsm(t, `
+		ldr x0, [x1]
+		ldr x2, [x3, #8]
+		ldr x4, [x5, x6]
+		ldrsw x6, [x2, x5, lsl #2]
+		ldrb x7, [x8, #1]
+		str x9, [x10, #-8]
+		strb x11, [x12, x13]
+	`)
+	checks := []struct {
+		op   isa.Op
+		mode isa.AddrMode
+		imm  int64
+		sh   uint8
+	}{
+		{isa.LDR, isa.AddrImm, 0, 0},
+		{isa.LDR, isa.AddrImm, 8, 0},
+		{isa.LDR, isa.AddrReg, 0, 0},
+		{isa.LDRSW, isa.AddrRegShift, 0, 2},
+		{isa.LDRB, isa.AddrImm, 1, 0},
+		{isa.STR, isa.AddrImm, -8, 0},
+		{isa.STRB, isa.AddrReg, 0, 0},
+	}
+	for i, c := range checks {
+		in := p.Insts[i]
+		if in.Op != c.op || in.Mode != c.mode || in.Imm != c.imm || in.Shift != c.sh {
+			t.Errorf("inst %d = %+v, want op=%s mode=%d imm=%d shift=%d", i, in, c.op, c.mode, c.imm, c.sh)
+		}
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p := mustAsm(t, `
+	start:
+		mov x0, #0
+	loop:
+		add x0, x0, #1
+		cmp x0, #10
+		b.lt loop
+		cbz x0, start
+		b done
+		nop
+	done:
+		halt
+	`)
+	if p.Labels["start"] != 0 || p.Labels["loop"] != 1 || p.Labels["done"] != 7 {
+		t.Errorf("labels = %v", p.Labels)
+	}
+	blt := p.Insts[3]
+	if blt.Op != isa.BLT || blt.Target != 1 {
+		t.Errorf("b.lt = %+v, want target 1", blt)
+	}
+	cbz := p.Insts[4]
+	if cbz.Op != isa.CBZ || cbz.Target != 0 || cbz.Rn != isa.X0 {
+		t.Errorf("cbz = %+v", cbz)
+	}
+	b := p.Insts[5]
+	if b.Op != isa.B || b.Target != 7 {
+		t.Errorf("b = %+v, want target 7", b)
+	}
+}
+
+func TestAssembleForwardLabelOnSameLine(t *testing.T) {
+	p := mustAsm(t, "loop: add x0, x0, #1\n b loop")
+	if p.Labels["loop"] != 0 {
+		t.Errorf("label loop = %d, want 0", p.Labels["loop"])
+	}
+	if p.Insts[1].Target != 0 {
+		t.Errorf("branch target = %d, want 0", p.Insts[1].Target)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p := mustAsm(t, `
+		// full line comment
+		add x0, x1, x2 // trailing
+		sub x3, x4, x5 ; semicolon style
+		mov x6, #7     # hash style
+		ldr x0, [x1, #8] // imm untouched by '#'
+	`)
+	if len(p.Insts) != 4 {
+		t.Fatalf("got %d insts, want 4", len(p.Insts))
+	}
+	if p.Insts[2].Imm != 7 {
+		t.Errorf("mov imm = %d, want 7", p.Insts[2].Imm)
+	}
+	if p.Insts[3].Imm != 8 {
+		t.Errorf("ldr imm = %d, want 8", p.Insts[3].Imm)
+	}
+}
+
+func TestAssembleSpecialRegisters(t *testing.T) {
+	p := mustAsm(t, `
+		add x0, xzr, x1
+		mov x1, lr
+		ret
+		ret x5
+	`)
+	if p.Insts[0].Rn != isa.XZR {
+		t.Errorf("xzr not parsed: %+v", p.Insts[0])
+	}
+	if p.Insts[1].Rn != isa.X30 {
+		t.Errorf("lr not parsed: %+v", p.Insts[1])
+	}
+	if p.Insts[2].Rn != isa.X30 {
+		t.Errorf("bare ret must use x30: %+v", p.Insts[2])
+	}
+	if p.Insts[3].Rn != isa.X5 {
+		t.Errorf("ret x5: %+v", p.Insts[3])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate x1, x2",
+		"add x0, x1",
+		"add x99, x1, x2",
+		"b nowhere",
+		"ldr x0, x1",
+		"mov x0, #99999999",
+		"movz x0, #70000",
+		"dup: nop\ndup: nop",
+		"cbz x0",
+		"csel x0, x1, x2, xx",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus x1\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ae *Error
+	if e, ok := err.(*Error); ok {
+		ae = e
+	} else {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line = %d, want 3", ae.Line)
+	}
+}
+
+func TestProgramAt(t *testing.T) {
+	p := mustAsm(t, "nop\nhalt")
+	if p.At(0).Op != isa.NOP {
+		t.Error("At(0) wrong")
+	}
+	if p.At(-1).Op != isa.HALT || p.At(99).Op != isa.HALT {
+		t.Error("out-of-range At must return HALT")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+	loop:
+		ldrsw x6, [x2, x5, lsl #2]
+		add x4, x4, x6
+		add x5, x5, #1
+		cmp x5, x1
+		b.lt loop
+		halt
+	`
+	p1 := mustAsm(t, src)
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("inst count %d != %d", len(p1.Insts), len(p2.Insts))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %+v != %+v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestDisassembleHasLabels(t *testing.T) {
+	p := mustAsm(t, "loop: nop\n b loop")
+	text := Disassemble(p)
+	if !strings.Contains(text, "L0:") {
+		t.Errorf("disassembly missing label:\n%s", text)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble of bad source must panic")
+		}
+	}()
+	MustAssemble("bad", "bogus")
+}
+
+func TestMustAssembleName(t *testing.T) {
+	p := MustAssemble("gather", "halt")
+	if p.Name != "gather" {
+		t.Errorf("Name = %q", p.Name)
+	}
+}
+
+func TestAssembleFloatingPoint(t *testing.T) {
+	p := mustAsm(t, `
+		fadd d1, d2, d3
+		fmul d4, d5, d6
+		fmadd d4, d6, d7, d4
+		fneg d1, d2
+		fsqrt d3, d4
+		fmov d5, d6
+		scvtf d4, xzr
+		fcvtzs x9, d4
+		fcmp d1, d2
+		ldr d6, [x2, x5, lsl #3]
+		str d6, [x4, x5, lsl #3]
+	`)
+	wantOps := []isa.Op{
+		isa.FADD, isa.FMUL, isa.FMADD, isa.FNEG, isa.FSQRT, isa.FMOV,
+		isa.SCVTF, isa.FCVTZS, isa.FCMP, isa.LDR, isa.STR,
+	}
+	for i, op := range wantOps {
+		if p.Insts[i].Op != op {
+			t.Errorf("inst %d op = %s, want %s", i, p.Insts[i].Op, op)
+		}
+	}
+	if p.Insts[0].Rd != isa.V1 || p.Insts[0].Rn != isa.V2 || p.Insts[0].Rm != isa.V3 {
+		t.Errorf("fadd regs = %+v", p.Insts[0])
+	}
+	if p.Insts[6].Rn != isa.XZR {
+		t.Errorf("scvtf source = %s, want xzr", p.Insts[6].Rn)
+	}
+	if p.Insts[7].Rd != isa.X9 || p.Insts[7].Rn != isa.V4 {
+		t.Errorf("fcvtzs regs = %+v", p.Insts[7])
+	}
+	if p.Insts[9].Rd != isa.V6 {
+		t.Errorf("fp load Rd = %s, want d6", p.Insts[9].Rd)
+	}
+}
+
+func TestFPDisassembleRoundTrip(t *testing.T) {
+	src := "fmadd d4, d6, d7, d4\nfcmp d1, d2\nldr d6, [x2, #8]\nhalt"
+	p1 := mustAsm(t, src)
+	p2, err := Assemble(Disassemble(p1))
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, Disassemble(p1))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %+v != %+v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+// TestStringAssembleRoundTripProperty: for randomly generated valid
+// instructions, String() output reassembles to the identical instruction.
+func TestStringAssembleRoundTripProperty(t *testing.T) {
+	ops := []isa.Inst{
+		{Op: isa.ADD}, {Op: isa.SUB}, {Op: isa.MUL}, {Op: isa.AND},
+		{Op: isa.ADDI}, {Op: isa.SUBI}, {Op: isa.LSLI}, {Op: isa.ASRI},
+		{Op: isa.MOV}, {Op: isa.MOVZ}, {Op: isa.MOVK},
+		{Op: isa.CMP}, {Op: isa.CMPI}, {Op: isa.TST},
+		{Op: isa.CSEL}, {Op: isa.CSINC},
+		{Op: isa.LDR}, {Op: isa.LDRSW}, {Op: isa.STR}, {Op: isa.LDRB},
+		{Op: isa.FADD}, {Op: isa.FMUL}, {Op: isa.FMADD}, {Op: isa.FSQRT},
+		{Op: isa.FCMP}, {Op: isa.SCVTF},
+	}
+	state := uint64(7)
+	rnd := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	intReg := func() isa.Reg { return isa.Reg(rnd(31)) } // x0..x30
+	fpReg := func() isa.Reg { return isa.V0 + isa.Reg(rnd(32)) }
+	for trial := 0; trial < 500; trial++ {
+		in := ops[rnd(len(ops))]
+		fp := in.Op >= isa.FADD && in.Op <= isa.FCVTZS
+		pick := intReg
+		if fp {
+			pick = fpReg
+		}
+		// Populate only the fields each op actually encodes, so the
+		// reassembled instruction can match exactly.
+		switch in.Op {
+		case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.FADD, isa.FMUL:
+			in.Rd, in.Rn, in.Rm = pick(), pick(), pick()
+		case isa.FMADD:
+			in.Rd, in.Rn, in.Rm, in.Ra = pick(), pick(), pick(), pick()
+		case isa.FSQRT:
+			in.Rd, in.Rn = pick(), pick()
+		case isa.SCVTF:
+			in.Rd, in.Rn = fpReg(), intReg()
+		case isa.MOV:
+			in.Rd, in.Rn = pick(), pick()
+		case isa.ADDI, isa.SUBI:
+			in.Rd, in.Rn = pick(), pick()
+			in.Imm = int64(rnd(4096))
+		case isa.CMPI:
+			in.Rn = pick()
+			in.Imm = int64(rnd(4096))
+		case isa.MOVZ:
+			in.Rd = pick()
+			in.Imm = int64(rnd(0x10000))
+			in.Shift = uint8(rnd(4))
+		case isa.MOVK:
+			in.Rd = pick()
+			in.Imm = int64(rnd(0x10000))
+			in.Shift = uint8(rnd(4))
+		case isa.LSLI, isa.ASRI:
+			in.Rd, in.Rn = pick(), pick()
+			in.Shift = uint8(rnd(64))
+		case isa.CMP, isa.TST, isa.FCMP:
+			in.Rn, in.Rm = pick(), pick()
+		case isa.CSEL, isa.CSINC:
+			in.Rd, in.Rn, in.Rm = pick(), pick(), pick()
+			in.Cond = isa.Cond(rnd(8))
+		case isa.LDR, isa.LDRSW, isa.STR, isa.LDRB:
+			in.Rd, in.Rn = pick(), intReg()
+			in.Mode = isa.AddrMode(rnd(3))
+			switch in.Mode {
+			case isa.AddrImm:
+				in.Imm = int64(rnd(512)) - 256
+			case isa.AddrReg:
+				in.Rm = intReg()
+			case isa.AddrRegShift:
+				in.Rm = intReg()
+				in.Shift = uint8(rnd(4))
+			}
+		}
+		if in.Op == isa.LDRSW || in.Op == isa.LDRB {
+			in.Rd = intReg() // sub-64-bit loads target integer registers
+		}
+		text := in.String()
+		p, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("trial %d: %q failed to assemble: %v (from %+v)", trial, text, err, in)
+		}
+		if len(p.Insts) != 1 || p.Insts[0] != in {
+			t.Fatalf("trial %d: round trip %q: %+v != %+v", trial, text, p.Insts[0], in)
+		}
+	}
+}

@@ -1,0 +1,929 @@
+// Package cpu implements the coarse-grain multithreaded (CGMT) in-order
+// pipeline at the heart of every near-memory processor configuration in
+// the ViReC evaluation: a single-issue five-stage core (fetch, decode,
+// execute, memory, commit) that detects dcache load misses, flushes the
+// pipeline and round-robins to another hardware thread. Register-context
+// storage is pluggable through the Provider interface, which is what
+// distinguishes the banked, software-switched, ViReC and prefetching
+// processors — the pipeline itself is identical, as in the paper.
+//
+// The simulator splits function from timing: instruction results are
+// computed with the isa package's evaluators using operand values captured
+// at decode (with full forwarding from in-flight instructions), while all
+// timing — stage occupancy, dcache/DRAM latency, register fill stalls,
+// context-switch masking — is enforced by the per-cycle Tick loop. Every
+// run is deterministic.
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+)
+
+// Config parameterizes the pipeline (Table 1's in-order cores).
+type Config struct {
+	Threads      int // hardware thread slots to schedule
+	FetchLatency int // pipelined icache hit latency, cycles
+	FetchBufSize int // fetch buffer entries
+	SQEntries    int // store queue entries
+	MulLatency   int // execute cycles for MUL/MADD
+	DivLatency   int // execute cycles for UDIV/SDIV
+	FPLatency    int // execute cycles for FADD/FSUB/FMUL/FMADD
+	FPDivLatency int // execute cycles for FDIV/FSQRT
+
+	// Trace, when set, receives one line per interesting event (switch,
+	// load issue/complete, cancel) for debugging; nil in normal runs.
+	Trace func(cycle uint64, event string)
+
+	// ValidateValues enables the golden-model check: every operand read
+	// from the provider is compared against a shadow architectural
+	// context maintained at commit. A mismatch panics — it means the
+	// provider's fill/spill value path corrupted a register.
+	ValidateValues bool
+}
+
+// DefaultConfig returns the Table-1 in-order core configuration.
+func DefaultConfig() Config {
+	return Config{
+		Threads:      8,
+		FetchLatency: 2,
+		FetchBufSize: 2,
+		SQEntries:    5,
+		MulLatency:   3,
+		DivLatency:   12,
+		FPLatency:    4,
+		FPDivLatency: 12,
+	}
+}
+
+// Stats accumulates core statistics.
+type Stats struct {
+	Cycles          uint64
+	Insts           uint64
+	InstsPerThread  []uint64
+	ContextSwitches uint64
+	LoadMissSignals uint64 // dcache switch signals received
+	SwitchWaits     uint64 // cycles CSL waited on CanSwitchTo/BlockSwitch
+	DecodeRegStalls uint64 // cycles decode stalled in Acquire
+	DecodeFwdStalls uint64 // cycles decode stalled on forwarding
+	FetchStalls     uint64 // cycles fetch had no slot
+	SQFullStalls    uint64 // cycles commit stalled on a full store queue
+	SwitchCancels   uint64 // switch requests dropped by the commit mask
+	MemWaitCycles   uint64 // cycles the MEM stage held an unfinished load
+	Loads           uint64
+	Stores          uint64
+	BranchFlushes   uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// Thread is one hardware thread context.
+type Thread struct {
+	ID      int
+	Prog    *asm.Program
+	PC      int
+	Flags   isa.Flags
+	Halted  bool
+	Started bool
+
+	// ProgBase is the address the program occupies for instruction-fetch
+	// timing when the core has an icache (instructions are 4 bytes each;
+	// the functional instruction comes from Prog directly).
+	ProgBase mem.Addr
+
+	shadow [isa.NumRegs]uint64 // golden architectural values (commit order)
+}
+
+// Shadow returns the golden (commit-order) value of register r; tests use
+// it to check results.
+func (t *Thread) Shadow(r isa.Reg) uint64 {
+	if r == isa.XZR {
+		return 0
+	}
+	return t.shadow[r]
+}
+
+// SetShadow pre-loads an architectural register (workload setup).
+func (t *Thread) SetShadow(r isa.Reg, v uint64) {
+	if r != isa.XZR {
+		t.shadow[r] = v
+	}
+}
+
+// inflight is one instruction in the backend.
+type inflight struct {
+	seq    uint64
+	thread int
+	pc     int
+	in     *isa.Inst
+
+	valRn, valRm, valRa, valRd uint64
+	flagsIn                    isa.Flags
+
+	result      uint64
+	writesReg   bool
+	resultReady bool
+	newFlags    isa.Flags
+	setsFlags   bool
+
+	effAddr    mem.Addr
+	loadIssued bool
+	loadDone   bool
+	loadVal    uint64
+
+	branchResolved bool
+	branchTaken    bool
+	exReadyAt      uint64
+
+	squashed bool
+}
+
+type fetchSlot struct {
+	pc      int
+	readyAt uint64 // fixed-latency path
+	ready   bool   // icache path: completion arrived
+	issued  bool   // icache path: request accepted
+	gen     uint64 // squash stale completions after redirects
+}
+
+type sqEntry struct {
+	done bool
+	req  *mem.Request
+	sent bool
+}
+
+type switchReason uint8
+
+const (
+	switchNone switchReason = iota
+	switchMiss
+	switchYield
+	switchHalt
+	switchStart
+)
+
+// Core is one near-memory processor.
+type Core struct {
+	cfg      Config
+	provider Provider
+	dcache   mem.Device
+	icache   mem.Device // nil = fixed-latency fetch pipe
+	memory   *mem.Memory
+	threads  []*Thread
+	fetchGen uint64
+
+	cur     int // running thread, -1 before first schedule
+	seq     uint64
+	fetchPC int
+	fetchQ  []*fetchSlot
+
+	dec *inflight
+	ex  *inflight
+	mm  *inflight
+	wb  *inflight
+
+	sq []*sqEntry
+
+	pendingSwitch        switchReason
+	pendingAt            uint64
+	committedSinceSwitch bool
+	zeroCommitSwitches   int // consecutive switches with no commits between
+
+	cycle  uint64
+	halted int
+
+	scratchSrc []isa.Reg
+	scratchDst []isa.Reg
+
+	// Stats is exported read-only for reporting.
+	Stats Stats
+}
+
+// New builds a core over the given provider, dcache and functional memory.
+// Threads are created halted-less with zero contexts; use Thread to set
+// programs and initial registers, then Start.
+func New(cfg Config, provider Provider, dcache mem.Device, memory *mem.Memory) *Core {
+	def := DefaultConfig()
+	if cfg.Threads == 0 {
+		cfg.Threads = def.Threads
+	}
+	if cfg.FetchLatency == 0 {
+		cfg.FetchLatency = def.FetchLatency
+	}
+	if cfg.FetchBufSize == 0 {
+		cfg.FetchBufSize = def.FetchBufSize
+	}
+	if cfg.SQEntries == 0 {
+		cfg.SQEntries = def.SQEntries
+	}
+	if cfg.MulLatency == 0 {
+		cfg.MulLatency = def.MulLatency
+	}
+	if cfg.DivLatency == 0 {
+		cfg.DivLatency = def.DivLatency
+	}
+	if cfg.FPLatency == 0 {
+		cfg.FPLatency = def.FPLatency
+	}
+	if cfg.FPDivLatency == 0 {
+		cfg.FPDivLatency = def.FPDivLatency
+	}
+	c := &Core{
+		cfg:      cfg,
+		provider: provider,
+		dcache:   dcache,
+		memory:   memory,
+		threads:  make([]*Thread, cfg.Threads),
+		cur:      -1,
+	}
+	for i := range c.threads {
+		c.threads[i] = &Thread{ID: i}
+	}
+	c.Stats.InstsPerThread = make([]uint64, cfg.Threads)
+	return c
+}
+
+// Thread returns hardware thread i for setup.
+func (c *Core) Thread(i int) *Thread { return c.threads[i] }
+
+// SetICache routes instruction-fetch timing through an icache device
+// (requests carry Inst=true). Without one, fetch is a fixed-latency
+// pipelined path. Must be called before Start.
+func (c *Core) SetICache(ic mem.Device) { c.icache = ic }
+
+// Threads returns the number of hardware threads.
+func (c *Core) Threads() int { return len(c.threads) }
+
+// Provider returns the register provider (for stats extraction).
+func (c *Core) Provider() Provider { return c.provider }
+
+// Start marks setup complete: the first schedule targets thread 0.
+func (c *Core) Start() {
+	c.halted = 0
+	for _, t := range c.threads {
+		if t.Prog == nil {
+			t.Halted = true
+			c.halted++
+		}
+	}
+	if c.halted == len(c.threads) {
+		return
+	}
+	c.pendingSwitch = switchStart
+}
+
+// Done reports whether every thread has halted.
+func (c *Core) Done() bool { return c.halted == len(c.threads) }
+
+// Cur returns the running thread id (-1 when none).
+func (c *Core) Cur() int { return c.cur }
+
+// Tick advances one cycle. The caller ticks the memory hierarchy after
+// all cores so that accesses issued this cycle are seen by the caches.
+func (c *Core) Tick(cycle uint64) {
+	c.cycle = cycle
+	if c.Done() {
+		return
+	}
+	c.Stats.Cycles++
+	c.commitStage()
+	c.memStage()
+	c.exStage()
+	c.decodeStage()
+	c.fetchStage()
+	c.csl()
+	c.drainSQ()
+	c.provider.Tick(cycle)
+}
+
+// ---- commit ----
+
+func (c *Core) commitStage() {
+	f := c.wb
+	if f == nil || f.squashed {
+		c.wb = nil
+		return
+	}
+	in := f.in
+
+	// Stores need a free store-queue slot.
+	if in.IsStore() {
+		if len(c.sq) >= c.cfg.SQEntries {
+			c.Stats.SQFullStalls++
+			return
+		}
+		c.memory.Write(f.effAddr, in.MemBytes(), f.valRd)
+		req := &mem.Request{Addr: f.effAddr, Size: in.MemBytes(), Kind: mem.Write}
+		c.sq = append(c.sq, &sqEntry{req: req})
+		c.Stats.Stores++
+	}
+
+	th := c.threads[f.thread]
+	if f.writesReg && in.Op != isa.NOP {
+		var rd isa.Reg
+		if len(in.DstRegs(c.scratchDst[:0])) > 0 {
+			rd = in.DstRegs(c.scratchDst[:0])[0]
+		}
+		if rd != isa.XZR {
+			val := f.result
+			if in.IsLoad() {
+				val = f.loadVal
+			}
+			th.shadow[rd] = val
+			c.provider.WriteValue(f.thread, rd, val)
+		}
+	}
+	if f.setsFlags {
+		th.Flags = f.newFlags
+	}
+
+	c.provider.InstCommitted(f.thread, f.seq)
+	c.Stats.Insts++
+	c.Stats.InstsPerThread[f.thread]++
+	c.committedSinceSwitch = true
+	c.wb = nil
+
+	switch in.Op {
+	case isa.HALT:
+		th.Halted = true
+		c.halted++
+		c.provider.ThreadHalted(f.thread)
+		c.flushPipeline(-1) // discard younger wrong-path instructions
+		if !c.Done() {
+			c.pendingSwitch = switchHalt
+			c.pendingAt = c.cycle
+		} else {
+			c.cur = -1
+		}
+	case isa.YIELD:
+		if c.pendingSwitch == switchNone {
+			c.pendingSwitch = switchYield
+			c.pendingAt = c.cycle
+		}
+	}
+}
+
+// ---- memory stage ----
+
+func (c *Core) memStage() {
+	f := c.mm
+	if f == nil {
+		return
+	}
+	if f.squashed {
+		c.mm = nil
+		return
+	}
+	in := f.in
+	if in.IsLoad() {
+		if !f.loadIssued {
+			c.issueLoad(f)
+			if !f.loadIssued {
+				return // port/MSHR busy, retry next cycle
+			}
+		}
+		if !f.loadDone {
+			c.Stats.MemWaitCycles++
+			return
+		}
+	}
+	if c.wb == nil {
+		c.wb = f
+		c.mm = nil
+	}
+}
+
+func (c *Core) issueLoad(f *inflight) {
+	fl := f
+	req := &mem.Request{
+		Addr: f.effAddr,
+		Size: f.in.MemBytes(),
+		Kind: mem.Read,
+		Done: func(cycle uint64) {
+			if fl.squashed {
+				return
+			}
+			fl.loadDone = true
+			fl.loadVal = isa.LoadExtend(fl.in.Op, c.memory.Read(fl.effAddr, fl.in.MemBytes()))
+		},
+		Miss: func(cycle uint64) {
+			if fl.squashed {
+				return
+			}
+			c.Stats.LoadMissSignals++
+			if c.pendingSwitch == switchNone {
+				c.pendingSwitch = switchMiss
+				c.pendingAt = cycle
+			}
+		},
+	}
+	if c.dcache.Access(req) {
+		f.loadIssued = true
+		c.Stats.Loads++
+		if c.cfg.Trace != nil {
+			c.cfg.Trace(c.cycle, fmt.Sprintf("t%d load issue pc=%d addr=%#x", f.thread, f.pc, f.effAddr))
+		}
+	}
+}
+
+// ---- execute ----
+
+func (c *Core) exStage() {
+	f := c.ex
+	if f == nil {
+		return
+	}
+	if f.squashed {
+		c.ex = nil
+		return
+	}
+	in := f.in
+
+	if !f.resultReady {
+		f.exReadyAt = c.cycle
+		switch {
+		case in.IsMem():
+			f.effAddr = mem.Addr(isa.EffAddr(in, f.valRn, f.valRm))
+			f.writesReg = in.IsLoad()
+		case in.IsBranch():
+			f.branchTaken = isa.BranchTaken(in, f.flagsIn, f.valRn)
+			f.branchResolved = true
+			if in.Op == isa.BL {
+				f.result = uint64(f.pc + 1)
+				f.writesReg = true
+			}
+			if f.branchTaken {
+				target := int(in.Target)
+				if in.Op == isa.RET {
+					target = int(f.valRn)
+				}
+				// Unconditional B/BL were redirected at decode; only
+				// redirect (and flush wrong-path work) for the rest.
+				if in.Op != isa.B && in.Op != isa.BL {
+					if c.dec != nil {
+						c.dec.squashed = true
+						c.dec = nil
+					}
+					c.redirect(target)
+					c.Stats.BranchFlushes++
+				}
+			}
+		default:
+			r := isa.EvalALU(in, f.valRn, f.valRm, f.valRa, f.flagsIn)
+			f.result, f.writesReg = r.Value, r.WritesReg
+			f.newFlags, f.setsFlags = r.Flags, r.WritesFlag
+			switch in.Op {
+			case isa.MUL, isa.MADD:
+				f.exReadyAt = c.cycle + uint64(c.cfg.MulLatency) - 1
+			case isa.UDIV, isa.SDIV:
+				f.exReadyAt = c.cycle + uint64(c.cfg.DivLatency) - 1
+			case isa.FADD, isa.FSUB, isa.FMUL, isa.FMADD, isa.SCVTF, isa.FCVTZS:
+				f.exReadyAt = c.cycle + uint64(c.cfg.FPLatency) - 1
+			case isa.FDIV, isa.FSQRT:
+				f.exReadyAt = c.cycle + uint64(c.cfg.FPDivLatency) - 1
+			}
+		}
+		f.resultReady = true
+	}
+	if c.cycle < f.exReadyAt {
+		return
+	}
+	if c.mm == nil {
+		c.mm = f
+		c.ex = nil
+	}
+}
+
+// redirect discards the fetch buffer and restarts fetch at target. The
+// caller squashes any wrong-path decode latch itself: a branch redirecting
+// from decode must not squash itself.
+func (c *Core) redirect(target int) {
+	c.fetchGen++
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchPC = target
+}
+
+// ---- decode ----
+
+// producerOf finds the youngest in-flight instruction writing r for the
+// running thread, searching EX, MEM then WB. It returns the forwarded
+// value when available, or stall=true when the producer hasn't finished.
+func (c *Core) producerOf(r isa.Reg) (val uint64, found, stall bool) {
+	for _, f := range []*inflight{c.ex, c.mm, c.wb} {
+		if f == nil || f.squashed {
+			continue
+		}
+		dsts := f.in.DstRegs(c.scratchDst[:0])
+		writes := false
+		for _, d := range dsts {
+			if d == r {
+				writes = true
+			}
+		}
+		if !writes {
+			continue
+		}
+		if f.in.IsLoad() {
+			if f.loadDone {
+				return f.loadVal, true, false
+			}
+			return 0, true, true
+		}
+		if f.resultReady && f.writesReg {
+			return f.result, true, false
+		}
+		return 0, true, true
+	}
+	return 0, false, false
+}
+
+// flagsProducer finds in-flight flag state: (flags, found, stall).
+func (c *Core) flagsProducer() (isa.Flags, bool, bool) {
+	for _, f := range []*inflight{c.ex, c.mm, c.wb} {
+		if f == nil || f.squashed || !f.in.SetsFlags() {
+			continue
+		}
+		if f.resultReady {
+			return f.newFlags, true, false
+		}
+		return isa.Flags{}, true, true
+	}
+	return isa.Flags{}, false, false
+}
+
+func (c *Core) decodeStage() {
+	f := c.dec
+	if f == nil {
+		return
+	}
+	if f.squashed {
+		c.dec = nil
+		return
+	}
+	// Stall decode while an unresolved control-flow instruction is ahead:
+	// the scalar core does not fetch or decode down an unknown path.
+	if older := c.ex; older != nil && !older.squashed && older.in.IsBranch() &&
+		!older.branchResolved && older.in.Op != isa.B && older.in.Op != isa.BL {
+		return
+	}
+	in := f.in
+
+	// Gather operand values: forwarding first, provider for the rest.
+	srcs := in.SrcRegs(c.scratchSrc[:0])
+	var need []isa.Reg
+	type pending struct {
+		reg isa.Reg
+		val uint64
+		ok  bool
+	}
+	var got [4]pending
+	n := 0
+	seen := map[isa.Reg]bool{}
+	for _, r := range srcs {
+		if r == isa.XZR || seen[r] {
+			continue
+		}
+		seen[r] = true
+		if n >= len(got) {
+			break
+		}
+		v, found, stall := c.producerOf(r)
+		if stall {
+			c.Stats.DecodeFwdStalls++
+			return
+		}
+		got[n] = pending{reg: r, val: v, ok: found}
+		n++
+		if !found {
+			need = append(need, r)
+		}
+	}
+	var flagsIn isa.Flags
+	if in.ReadsFlags() {
+		fl, found, stall := c.flagsProducer()
+		if stall {
+			c.Stats.DecodeFwdStalls++
+			return
+		}
+		if found {
+			flagsIn = fl
+		} else {
+			flagsIn = c.threads[f.thread].Flags
+		}
+	}
+
+	if !c.provider.Acquire(f.thread, in, need) {
+		c.Stats.DecodeRegStalls++
+		return
+	}
+	if c.ex != nil {
+		return // structural: EX occupied
+	}
+
+	// Read non-forwarded values from the provider.
+	for i := 0; i < n; i++ {
+		if !got[i].ok {
+			got[i].val = c.provider.ReadValue(f.thread, got[i].reg)
+			got[i].ok = true
+			if c.cfg.ValidateValues {
+				want := c.threads[f.thread].Shadow(got[i].reg)
+				if got[i].val != want {
+					panic(fmt.Sprintf(
+						"cpu: value corruption: thread %d %s = %#x, golden %#x (pc %d, %s)",
+						f.thread, got[i].reg, got[i].val, want, f.pc, in))
+				}
+			}
+		}
+	}
+	assign := func(r isa.Reg) uint64 {
+		if r == isa.XZR {
+			return 0
+		}
+		for i := 0; i < n; i++ {
+			if got[i].reg == r {
+				return got[i].val
+			}
+		}
+		return 0
+	}
+	// Operand roles depend on the op; see isa.Inst.
+	switch {
+	case in.IsStore():
+		f.valRd = assign(in.Rd)
+		f.valRn = assign(in.Rn)
+		f.valRm = assign(in.Rm)
+	case in.Op == isa.MOVK:
+		f.valRn = assign(in.Rd) // read-modify-write of Rd
+	default:
+		f.valRn = assign(in.Rn)
+		f.valRm = assign(in.Rm)
+		f.valRa = assign(in.Ra)
+	}
+	f.flagsIn = flagsIn
+
+	// Early redirect for unconditional direct branches.
+	if in.Op == isa.B || in.Op == isa.BL {
+		c.redirect(int(in.Target))
+	}
+
+	c.provider.InstDecoded(f.thread, f.seq, in)
+	c.ex = f
+	c.dec = nil
+}
+
+// ---- fetch ----
+
+func (c *Core) fetchStage() {
+	if c.cur < 0 || c.threads[c.cur].Halted {
+		return
+	}
+	// Move a ready slot into decode.
+	if c.dec == nil && len(c.fetchQ) > 0 && c.fetchReady(c.fetchQ[0]) {
+		slot := c.fetchQ[0]
+		c.fetchQ = c.fetchQ[1:]
+		th := c.threads[c.cur]
+		c.seq++
+		c.dec = &inflight{
+			seq:    c.seq,
+			thread: c.cur,
+			pc:     slot.pc,
+			in:     th.Prog.At(slot.pc),
+		}
+	}
+	// Issue icache requests for queued slots (one per cycle).
+	if c.icache != nil {
+		for _, slot := range c.fetchQ {
+			if !slot.issued {
+				c.issueFetch(slot)
+				break
+			}
+		}
+	}
+	// Enqueue the next fetch.
+	if len(c.fetchQ) < c.cfg.FetchBufSize {
+		slot := &fetchSlot{pc: c.fetchPC, gen: c.fetchGen,
+			readyAt: c.cycle + uint64(c.cfg.FetchLatency)}
+		if c.icache != nil {
+			c.issueFetch(slot)
+		}
+		c.fetchQ = append(c.fetchQ, slot)
+		c.fetchPC++
+	} else {
+		c.Stats.FetchStalls++
+	}
+}
+
+// fetchReady reports whether a fetch slot's instruction bytes are
+// available to decode.
+func (c *Core) fetchReady(s *fetchSlot) bool {
+	if c.icache == nil {
+		return s.readyAt <= c.cycle
+	}
+	return s.ready
+}
+
+// issueFetch sends an instruction-fetch request to the icache. A rejected
+// request (port busy) retries on a later cycle.
+func (c *Core) issueFetch(s *fetchSlot) {
+	gen := c.fetchGen
+	slot := s
+	addr := c.threads[c.cur].ProgBase + mem.Addr(s.pc*isa.InstBytes)
+	req := &mem.Request{
+		Addr: addr,
+		Size: isa.InstBytes,
+		Kind: mem.Read,
+		Inst: true,
+		Done: func(uint64) {
+			if slot.gen == gen {
+				slot.ready = true
+			}
+		},
+	}
+	if c.icache.Access(req) {
+		s.issued = true
+	}
+}
+
+// ---- context switching logic ----
+
+// oldestInflight returns the oldest non-squashed in-flight instruction.
+func (c *Core) oldestInflight() *inflight {
+	for _, f := range []*inflight{c.wb, c.mm, c.ex, c.dec} {
+		if f != nil && !f.squashed {
+			return f
+		}
+	}
+	return nil
+}
+
+func (c *Core) csl() {
+	if c.pendingSwitch == switchNone || c.cycle < c.pendingAt {
+		return
+	}
+	reason := c.pendingSwitch
+
+	if reason == switchMiss {
+		// The missing load may have completed while the switch was
+		// masked; if so the switch is moot.
+		if c.mm == nil || !c.mm.in.IsLoad() || c.mm.loadDone {
+			c.pendingSwitch = switchNone
+			return
+		}
+		// Mask 1: older long-running instructions must drain first — the
+		// missing load must be the oldest in-flight instruction (the
+		// rollback queue's oldest-is-memory signal).
+		if c.oldestInflight() != c.mm {
+			c.Stats.SwitchWaits++
+			return
+		}
+		// Mask 3: the commit-stage signal stops the CSL from cycling
+		// through threads when memory latency cannot be covered. A single
+		// zero-commit switch is allowed (polling the next thread is how
+		// switch-on-miss hides latency); once a full rotation happens
+		// with no thread committing anything, hold the current thread
+		// until its load returns instead of spinning.
+		if !c.committedSinceSwitch && c.zeroCommitSwitches >= c.liveThreads()-1 {
+			c.pendingSwitch = switchNone
+			c.Stats.SwitchCancels++
+			if c.cfg.Trace != nil {
+				c.cfg.Trace(c.cycle, fmt.Sprintf("t%d cancel (full rotation)", c.cur))
+			}
+			return
+		}
+	}
+
+	// Mask 2: the BSI blocks switches during outstanding fills/spills.
+	if c.provider.BlockSwitch() {
+		c.Stats.SwitchWaits++
+		return
+	}
+
+	next := c.nextThread()
+	if next < 0 || (next == c.cur && reason != switchStart) {
+		c.pendingSwitch = switchNone
+		return
+	}
+	th := c.threads[next]
+	if !th.Started {
+		th.Started = true
+		c.provider.ThreadStarted(next)
+	}
+	if !c.provider.CanSwitchTo(next) {
+		c.Stats.SwitchWaits++
+		return
+	}
+
+	// Perform the switch.
+	prev := c.cur
+	if reason == switchMiss || reason == switchYield {
+		c.flushPipeline(prev)
+	}
+	if prev >= 0 {
+		c.provider.PipelineFlushed(prev)
+	}
+	c.provider.OnSwitch(prev, next)
+	c.cur = next
+	c.fetchPC = th.PC
+	c.fetchGen++
+	c.fetchQ = c.fetchQ[:0]
+	if c.committedSinceSwitch {
+		c.zeroCommitSwitches = 0
+	} else {
+		c.zeroCommitSwitches++
+	}
+	c.committedSinceSwitch = false
+	c.pendingSwitch = switchNone
+	if reason != switchStart {
+		c.Stats.ContextSwitches++
+	}
+	if c.cfg.Trace != nil {
+		c.cfg.Trace(c.cycle, fmt.Sprintf("switch t%d->t%d reason=%d zc=%d", prev, next, reason, c.zeroCommitSwitches))
+	}
+}
+
+// flushPipeline squashes all in-flight instructions and, when thread >= 0,
+// rewinds that thread's PC to the oldest squashed instruction for replay.
+func (c *Core) flushPipeline(thread int) {
+	replayPC := -1
+	// Scan oldest (WB) to youngest (decode): the replay point is the
+	// oldest squashed instruction of the thread.
+	for _, f := range []*inflight{c.wb, c.mm, c.ex, c.dec} {
+		if f != nil && !f.squashed {
+			f.squashed = true
+			if f.thread == thread && replayPC < 0 {
+				replayPC = f.pc
+			}
+		}
+	}
+	c.dec, c.ex, c.mm, c.wb = nil, nil, nil, nil
+	if thread >= 0 {
+		switch {
+		case replayPC >= 0:
+			c.threads[thread].PC = replayPC
+		case len(c.fetchQ) > 0:
+			c.threads[thread].PC = c.fetchQ[0].pc
+		default:
+			c.threads[thread].PC = c.fetchPC
+		}
+	}
+	c.fetchQ = c.fetchQ[:0]
+}
+
+// liveThreads returns the number of unhalted threads.
+func (c *Core) liveThreads() int {
+	n := 0
+	for _, t := range c.threads {
+		if !t.Halted {
+			n++
+		}
+	}
+	return n
+}
+
+// nextThread picks the round-robin successor of the current thread.
+func (c *Core) nextThread() int {
+	n := len(c.threads)
+	start := c.cur
+	if start < 0 {
+		start = n - 1
+	}
+	for i := 1; i <= n; i++ {
+		cand := (start + i) % n
+		if !c.threads[cand].Halted {
+			return cand
+		}
+	}
+	return -1
+}
+
+// ---- store queue ----
+
+func (c *Core) drainSQ() {
+	// Issue the oldest unsent store; the dcache port arbiter naturally
+	// prioritizes loads because the MEM stage runs earlier in the cycle.
+	for _, e := range c.sq {
+		if !e.sent {
+			ee := e
+			e.req.Done = func(uint64) { ee.done = true }
+			if c.dcache.Access(e.req) {
+				e.sent = true
+			}
+			break
+		}
+	}
+	for len(c.sq) > 0 && c.sq[0].done {
+		c.sq = c.sq[1:]
+	}
+}
+
+// SetTrace installs a debug event hook (tests only).
+func (c *Core) SetTrace(fn func(cycle uint64, event string)) { c.cfg.Trace = fn }

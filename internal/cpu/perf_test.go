@@ -1,0 +1,86 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"github.com/virec/virec/internal/cpu"
+)
+
+// sweepStats runs the gather workload and returns the core statistics.
+func sweepStats(t *testing.T, kind providerKind, threads int, realDRAM bool) *cpu.Stats {
+	t.Helper()
+	r := newRig(kind, rigOpt{threads: threads, physRegs: threads * 8, realDRAM: realDRAM})
+	setupGather(r, threads, 64)
+	ths := make([]int, threads)
+	for i := range ths {
+		ths[i] = i
+	}
+	r.load(gatherProg(), ths...)
+	if !r.run(10000000) {
+		t.Fatal("did not finish")
+	}
+	return &r.core.Stats
+}
+
+// TestViReCTracksBankedAcrossThreadCounts checks the paper's headline
+// property end to end: at 100% context storage ViReC performs within a few
+// percent of a banked register file, across thread counts and for both the
+// fixed-latency and the DRAM-model memory.
+func TestViReCTracksBankedAcrossThreadCounts(t *testing.T) {
+	for _, realDRAM := range []bool{false, true} {
+		for _, threads := range []int{1, 2, 4, 8} {
+			banked := sweepStats(t, pBanked, threads, realDRAM)
+			virec := sweepStats(t, pViReC, threads, realDRAM)
+			ratio := float64(virec.Cycles) / float64(banked.Cycles)
+			t.Logf("dram=%v threads=%d: banked=%d virec=%d ratio=%.3f",
+				realDRAM, threads, banked.Cycles, virec.Cycles, ratio)
+			if ratio > 1.10 {
+				t.Errorf("dram=%v threads=%d: ViReC @100%% context %.2fx slower than banked, want <= 1.10x",
+					realDRAM, threads, ratio)
+			}
+		}
+	}
+}
+
+// TestMultithreadingHidesLatency checks that adding threads reduces
+// per-thread runtime for the latency-bound gather kernel (the premise of
+// coarse-grain multithreading).
+func TestMultithreadingHidesLatency(t *testing.T) {
+	one := sweepStats(t, pViReC, 1, true)
+	four := sweepStats(t, pViReC, 4, true)
+	perThread1 := float64(one.Cycles)
+	perThread4 := float64(four.Cycles) / 4
+	if perThread4 >= perThread1 {
+		t.Errorf("4-thread per-thread time %.0f not better than single-thread %.0f",
+			perThread4, perThread1)
+	}
+}
+
+// TestReducedContextDegradesGracefully checks that shrinking the ViReC
+// physical register file lowers performance smoothly rather than breaking:
+// 40% context must still complete and be slower than 100% context.
+func TestReducedContextDegradesGracefully(t *testing.T) {
+	run := func(phys int) uint64 {
+		r := newRig(pViReC, rigOpt{threads: 8, physRegs: phys, realDRAM: true})
+		setupGather(r, 8, 64)
+		r.load(gatherProg(), 0, 1, 2, 3, 4, 5, 6, 7)
+		if !r.run(20000000) {
+			t.Fatalf("physRegs=%d did not finish", phys)
+		}
+		return r.core.Stats.Cycles
+	}
+	full := run(8 * 8)    // 100% of an 8-register active context
+	reduced := run(8 * 4) // 50%
+	tiny := run(8 * 3)    // ~40%
+	t.Logf("cycles: 100%%=%d 50%%=%d 40%%=%d", full, reduced, tiny)
+	if reduced < full {
+		t.Errorf("50%% context (%d) unexpectedly faster than 100%% (%d)", reduced, full)
+	}
+	if tiny < reduced {
+		t.Errorf("40%% context (%d) unexpectedly faster than 50%% (%d)", tiny, reduced)
+	}
+	if float64(tiny) > 3*float64(full) {
+		t.Errorf("40%% context %.1fx slower than full; degradation not graceful",
+			float64(tiny)/float64(full))
+	}
+}

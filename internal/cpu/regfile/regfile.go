@@ -1,0 +1,152 @@
+// Package regfile provides the four register-context storage providers
+// behind the cpu.Provider interface, corresponding to the processor
+// configurations evaluated in the ViReC paper:
+//
+//   - Banked: one full register bank per hardware thread (the paper's
+//     "banked core" baseline). Zero-cost context switches, large area.
+//   - Software: a single register bank; contexts are saved and restored
+//     through the dcache on every switch (Figure 3a).
+//   - ViReC: the paper's contribution — a small physical register file
+//     used as a cache for partial contexts, managed by the VRMU with the
+//     LRC replacement policy and a backing store interface (Figure 3c).
+//   - Prefetch: two banks used as double buffers with full-context or
+//     oracle exact-context prefetching (the comparison in Figure 9).
+//
+// All providers move register state through the same reserved backing
+// memory region (cpu.RegLayout) so their traffic is directly comparable.
+package regfile
+
+import (
+	"github.com/virec/virec/internal/cpu"
+	"github.com/virec/virec/internal/mem"
+)
+
+// base carries the plumbing every provider needs.
+type base struct {
+	dcache   mem.Device
+	memory   *mem.Memory
+	layout   cpu.RegLayout
+	nThreads int
+	halted   []bool
+}
+
+func newBase(dcache mem.Device, memory *mem.Memory, layout cpu.RegLayout, nThreads int) base {
+	return base{
+		dcache:   dcache,
+		memory:   memory,
+		layout:   layout,
+		nThreads: nThreads,
+		halted:   make([]bool, nThreads),
+	}
+}
+
+// nextOf returns the round-robin successor of thread t among live
+// threads, or -1 when none remain.
+func (b *base) nextOf(t int) int {
+	for i := 1; i <= b.nThreads; i++ {
+		cand := (t + i) % b.nThreads
+		if !b.halted[cand] {
+			return cand
+		}
+	}
+	return -1
+}
+
+// liveThreads returns the number of unhalted threads.
+func (b *base) liveThreads() int {
+	n := 0
+	for _, h := range b.halted {
+		if !h {
+			n++
+		}
+	}
+	return n
+}
+
+// bsiOp is one register transaction queued at the backing store interface.
+type bsiOp struct {
+	addr   mem.Addr
+	kind   mem.Kind
+	noCrit bool // metadata-only (dummy-destination bookkeeping)
+	sticky bool // sticky-pin the line (system registers)
+	unpin  bool // release a sticky pin (thread halt)
+	onDone func(cycle uint64)
+}
+
+// bsi is the backing store interface: it issues register loads and stores
+// to the dcache, loads before stores (fills are on the critical path),
+// with a configurable issue width. A blocking BSI allows one outstanding
+// transaction; the non-blocking BSI pipelines them (Section 5.3).
+type bsi struct {
+	dcache      mem.Device
+	loads       []*bsiOp
+	stores      []*bsiOp
+	outstanding int
+	nonBlocking bool
+	perCycle    int
+
+	// Stats
+	FillsIssued  uint64
+	SpillsIssued uint64
+}
+
+func newBSI(dcache mem.Device, nonBlocking bool) *bsi {
+	return &bsi{dcache: dcache, nonBlocking: nonBlocking, perCycle: 1}
+}
+
+func (b *bsi) pushLoad(op *bsiOp)  { b.loads = append(b.loads, op) }
+func (b *bsi) pushStore(op *bsiOp) { b.stores = append(b.stores, op) }
+
+// Outstanding reports queued plus in-flight transactions; the CSL masks
+// context switches while it is non-zero.
+func (b *bsi) Outstanding() int {
+	return len(b.loads) + len(b.stores) + b.outstanding
+}
+
+// Tick issues queued transactions to the dcache, loads first.
+func (b *bsi) Tick(cycle uint64) {
+	issued := 0
+	for issued < b.perCycle {
+		if !b.nonBlocking && b.outstanding > 0 {
+			return
+		}
+		var op *bsiOp
+		var fromLoads bool
+		switch {
+		case len(b.loads) > 0:
+			op, fromLoads = b.loads[0], true
+		case len(b.stores) > 0:
+			op = b.stores[0]
+		default:
+			return
+		}
+		req := &mem.Request{
+			Addr:         op.addr,
+			Size:         8,
+			Kind:         op.kind,
+			RegisterFill: true,
+			NoCritical:   op.noCrit,
+			PinSticky:    op.sticky,
+			Unpin:        op.unpin,
+		}
+		done := op.onDone
+		req.Done = func(cy uint64) {
+			b.outstanding--
+			if done != nil {
+				done(cy)
+			}
+		}
+		if !b.dcache.Access(req) {
+			return // dcache port busy (LSQ has priority); retry next cycle
+		}
+		b.outstanding++
+		if fromLoads {
+			b.loads = b.loads[1:]
+			b.FillsIssued++
+		} else {
+			b.stores = b.stores[1:]
+			b.SpillsIssued++
+		}
+		issued++
+	}
+}

@@ -1,0 +1,703 @@
+package regfile
+
+import (
+	"fmt"
+
+	"github.com/virec/virec/internal/cpu"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/vrmu"
+)
+
+// ViReCConfig parameterizes the ViReC provider.
+type ViReCConfig struct {
+	// PhysRegs is the physical register file size shared by all threads
+	// (the paper sweeps 40%-100% of the aggregate active context).
+	PhysRegs int
+	// Policy is the tag-store replacement policy (default LRC).
+	Policy vrmu.Policy
+	// BlockingBSI restricts the backing store interface to one
+	// outstanding transaction (ablation; the paper evaluates the
+	// non-blocking BSI).
+	BlockingBSI bool
+	// NoDummyDest disables the destination dummy-value optimization:
+	// destination-only registers then wait for a real fill (ablation).
+	NoDummyDest bool
+	// NoSysregPrefetch disables the system-register ping-pong buffer:
+	// every switch then waits for an on-demand system-register load
+	// (ablation).
+	NoSysregPrefetch bool
+	// NoRollback disables the rollback queue's C-bit resets, degrading
+	// LRC toward MRT-PLRU with stale commit bits (ablation).
+	NoRollback bool
+	// RollbackDepth is the rollback queue depth (backend instructions).
+	RollbackDepth int
+
+	// GroupEvict enables the paper's future-work group-eviction
+	// extension: when a victim is selected, its committed same-line
+	// siblings from the same thread are evicted too, so their spills
+	// batch onto one backing-store line and subsequent allocations find
+	// free slots.
+	GroupEvict bool
+	// PrefetchNext enables the future-work prefetch-combined-caching
+	// extension: on a context switch the round-robin successor's
+	// predicted registers (its active set) that are not already resident
+	// are prefetched into the register file in the background.
+	PrefetchNext bool
+}
+
+// ViReC implements the paper's architecture: the physical register file is
+// a cache of partial thread contexts managed by a VRMU tag store, with
+// spills and fills flowing through the BSI to the dcache backing store,
+// and a ping-pong buffer prefetching system registers of the next thread.
+type ViReC struct {
+	base
+	cfg  ViReCConfig
+	tags *vrmu.TagStore
+	rq   *vrmu.RollbackQueue
+	bsi  *bsi
+
+	// sysBsi carries the CSL's system-register ping-pong traffic. It is
+	// separate from the register BSI (Figure 7 places the buffer in the
+	// fetch stage): its outstanding transactions do not mask context
+	// switches, they only gate CanSwitchTo for their own thread.
+	sysBsi *bsi
+
+	// pfBsi carries background register prefetches (the PrefetchNext
+	// extension); like the sysreg engine it never masks switches, and it
+	// yields the dcache port to demand fills.
+	pfBsi *bsi
+
+	// prefetchRegs is the per-thread predicted register set used by
+	// PrefetchNext (defaults to nothing; the sim layer installs the
+	// workload's active context).
+	prefetchRegs [][]isa.Reg
+
+	// Oracle state for the Belady policy: per-thread occurrence lists of
+	// each register in the thread's recorded access sequence, a cursor
+	// counting committed accesses, and the registers of in-flight
+	// (decoded, uncommitted) instructions.
+	oracleOcc    []map[isa.Reg][]uint32
+	oracleCursor []uint32
+	inflightRegs map[uint64][]isa.Reg
+
+	// pending tracks fills in flight: (thread,reg) -> physical slot.
+	pending map[regKey]int
+	// pendingPhys marks physical slots with fills in flight (never
+	// eviction victims).
+	pendingPhys map[int]bool
+	// superseded marks in-flight fills whose value was overwritten at
+	// commit before the fill landed; the fill completes without
+	// installing its stale value.
+	superseded map[regKey]bool
+	// lockedPhys holds the registers of the instruction currently in
+	// decode; they are exempt from eviction.
+	lockedPhys   map[int]bool
+	lockedInst   *isa.Inst
+	lockedThread int
+
+	// sysBuf is the system-register ping-pong buffer of Section 5.2.
+	sysBuf [2]sysSlot
+
+	// Stats
+	DummyDests     uint64
+	CommitReallocs uint64
+	GroupEvictions uint64
+	Prefetches     uint64
+	PrefetchHits   uint64 // prefetched registers found resident on demand
+}
+
+type regKey struct {
+	thread int
+	reg    isa.Reg
+}
+
+type sysSlot struct {
+	thread  int
+	ready   bool
+	loading bool
+}
+
+// NewViReC builds the ViReC provider.
+func NewViReC(cfg ViReCConfig, threads int, dcache mem.Device, memory *mem.Memory, layout cpu.RegLayout) *ViReC {
+	if cfg.PhysRegs < 8 {
+		panic(fmt.Sprintf("regfile: ViReC needs >= 8 physical registers, got %d", cfg.PhysRegs))
+	}
+	if cfg.RollbackDepth == 0 {
+		cfg.RollbackDepth = 4
+	}
+	tags := vrmu.NewTagStore(cfg.PhysRegs, cfg.Policy)
+	p := &ViReC{
+		base:        newBase(dcache, memory, layout, threads),
+		cfg:         cfg,
+		tags:        tags,
+		rq:          vrmu.NewRollbackQueue(cfg.RollbackDepth, tags),
+		bsi:         newBSI(dcache, !cfg.BlockingBSI),
+		sysBsi:      newBSI(dcache, true),
+		pfBsi:       newBSI(dcache, true),
+		pending:     make(map[regKey]int),
+		pendingPhys: make(map[int]bool),
+		superseded:  make(map[regKey]bool),
+		lockedPhys:  make(map[int]bool),
+	}
+	p.sysBuf[0].thread = -1
+	p.sysBuf[1].thread = -1
+	p.prefetchRegs = make([][]isa.Reg, threads)
+	if cfg.Policy == vrmu.Belady {
+		p.oracleOcc = make([]map[isa.Reg][]uint32, threads)
+		p.oracleCursor = make([]uint32, threads)
+		p.inflightRegs = make(map[uint64][]isa.Reg)
+		tags.SetOracle(p.oracleDistance)
+	}
+	return p
+}
+
+// SetOracleSeq installs a thread's recorded register access sequence (the
+// per-instruction in.Regs order from a functional pre-run) for the Belady
+// policy's perfect intra-thread future knowledge.
+func (p *ViReC) SetOracleSeq(thread int, seq []isa.Reg) {
+	occ := make(map[isa.Reg][]uint32)
+	for i, r := range seq {
+		if r != isa.XZR {
+			occ[r] = append(occ[r], uint32(i))
+		}
+	}
+	p.oracleOcc[thread] = occ
+}
+
+// oracleDistance returns how many committed accesses lie between the
+// thread's cursor and its next use of reg (max if never used again).
+func (p *ViReC) oracleDistance(thread int, reg isa.Reg) uint64 {
+	occ := p.oracleOcc[thread]
+	if occ == nil {
+		return 0
+	}
+	positions := occ[reg]
+	cur := p.oracleCursor[thread]
+	// Binary search for the first position >= cursor.
+	lo, hi := 0, len(positions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if positions[mid] < cur {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(positions) {
+		return 0xffffffff // never used again
+	}
+	return uint64(positions[lo] - cur)
+}
+
+// SetPrefetchRegs installs the predicted register set PrefetchNext loads
+// for a thread ahead of its scheduling.
+func (p *ViReC) SetPrefetchRegs(thread int, regs []isa.Reg) {
+	cp := make([]isa.Reg, len(regs))
+	copy(cp, regs)
+	p.prefetchRegs[thread] = cp
+}
+
+var _ cpu.Provider = (*ViReC)(nil)
+
+// Tags exposes the tag store for statistics (hit rates, Figure 12).
+func (p *ViReC) Tags() *vrmu.TagStore { return p.tags }
+
+// BSI exposes fill/spill counts for reporting.
+func (p *ViReC) BSIStats() (fills, spills uint64) {
+	return p.bsi.FillsIssued, p.bsi.SpillsIssued
+}
+
+// resident reports whether (thread,reg) has a valid value in the RF.
+func (p *ViReC) resident(thread int, r isa.Reg) bool {
+	if !p.tags.Contains(thread, r) {
+		return false
+	}
+	_, filling := p.pending[regKey{thread, r}]
+	return !filling
+}
+
+// lockIfPresent adds the physical slot of (thread,reg) to the decode lock
+// set.
+func (p *ViReC) lockIfPresent(thread int, r isa.Reg) {
+	if phys, ok := p.tags.Lookup(thread, r); ok {
+		p.lockedPhys[phys] = true
+	}
+}
+
+// victimSet returns the union of decode-locked and fill-pending physical
+// slots, which must not be evicted.
+func (p *ViReC) victimExclusions() map[int]bool {
+	if len(p.pendingPhys) == 0 {
+		return p.lockedPhys
+	}
+	ex := make(map[int]bool, len(p.lockedPhys)+len(p.pendingPhys))
+	for k := range p.lockedPhys {
+		ex[k] = true
+	}
+	for k := range p.pendingPhys {
+		ex[k] = true
+	}
+	return ex
+}
+
+// allocate selects a victim, spills it, and installs (thread,reg) in its
+// slot. Returns the physical index, or -1 if no victim is available.
+// With GroupEvict, the victim's committed same-line siblings are evicted
+// alongside it: their spill writes land in the same (pinned) backing
+// line, and the freed slots absorb the next misses without evictions.
+func (p *ViReC) allocate(thread int, r isa.Reg) int {
+	phys := p.tags.SelectVictim(p.victimExclusions())
+	if phys < 0 {
+		return -1
+	}
+	var group []int
+	if p.cfg.GroupEvict {
+		if e := p.tags.Entry(phys); e.Valid {
+			group = p.tags.LineSiblings(e.Thread, e.Reg)
+		}
+	}
+	victim, evicted := p.tags.Insert(thread, r, phys)
+	if evicted {
+		p.spill(victim)
+	}
+	if len(group) > 0 {
+		ex := p.victimExclusions()
+		for _, sib := range group {
+			if ex[sib] {
+				continue
+			}
+			e := p.tags.Entry(sib)
+			if !e.Valid || !e.C {
+				continue // keep in-flight (to-be-replayed) registers
+			}
+			if v, ok := p.tags.Evict(sib); ok {
+				p.spill(v)
+				p.GroupEvictions++
+			}
+		}
+	}
+	p.lockedPhys[phys] = true
+	return phys
+}
+
+// spill writes an evicted register back to the backing store. The value
+// lands in functional memory immediately (it must be visible to a
+// subsequent fill); the BSI store models the timing and keeps the dcache
+// pin counters balanced. Dead threads' registers are dropped with a
+// metadata-only write.
+func (p *ViReC) spill(v vrmu.Victim) {
+	addr := p.layout.RegAddr(v.Thread, v.Reg)
+	if !v.Dummy {
+		p.memory.Write64(addr, v.Value)
+	}
+	p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write, noCrit: !v.Dirty})
+}
+
+// startFill begins fetching (thread,reg) from the backing store into slot
+// phys.
+func (p *ViReC) startFill(thread int, r isa.Reg, phys int) {
+	key := regKey{thread, r}
+	p.pending[key] = phys
+	p.pendingPhys[phys] = true
+	addr := p.layout.RegAddr(thread, r)
+	p.bsi.pushLoad(&bsiOp{
+		addr: addr,
+		kind: mem.Read,
+		onDone: func(uint64) {
+			delete(p.pendingPhys, phys)
+			if p.superseded[key] {
+				delete(p.superseded, key)
+				delete(p.pending, key)
+				return
+			}
+			if cur, ok := p.pending[key]; ok && cur == phys && p.tags.Contains(thread, r) {
+				p.tags.FillValue(phys, p.memory.Read64(addr))
+			}
+			delete(p.pending, key)
+		},
+	})
+}
+
+// Acquire implements the decode-side register access of Section 5.1: tag
+// store lookups for every source and destination, miss handling through
+// victim selection, eviction and fill, and the dummy-value optimization
+// for destination-only registers.
+func (p *ViReC) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool {
+	if p.rq.Full() {
+		return false
+	}
+	// New instruction at decode: reset the lock set (the previous
+	// instruction has dispatched or been squashed).
+	if p.lockedInst != in || p.lockedThread != thread {
+		p.lockedInst = in
+		p.lockedThread = thread
+		clear(p.lockedPhys)
+		for _, r := range needSrcs {
+			if r == isa.XZR {
+				continue
+			}
+			hit := p.resident(thread, r)
+			p.tags.CountAccess(hit)
+			if hit && p.cfg.PrefetchNext {
+				p.PrefetchHits++
+			}
+			p.lockIfPresent(thread, r)
+		}
+		var dsts [2]isa.Reg
+		for _, d := range in.DstRegs(dsts[:0]) {
+			if d != isa.XZR {
+				p.tags.CountAccess(p.tags.Contains(thread, d))
+				p.lockIfPresent(thread, d)
+			}
+		}
+	}
+
+	ready := true
+	for _, r := range needSrcs {
+		if r == isa.XZR {
+			continue
+		}
+		if p.resident(thread, r) {
+			p.lockIfPresent(thread, r)
+			continue
+		}
+		ready = false
+		if _, filling := p.pending[regKey{thread, r}]; filling {
+			continue // fill already under way
+		}
+		phys := p.allocate(thread, r)
+		if phys < 0 {
+			continue // every slot locked/pending; retry next cycle
+		}
+		p.startFill(thread, r, phys)
+	}
+
+	var dstBuf [2]isa.Reg
+	for _, d := range in.DstRegs(dstBuf[:0]) {
+		if d == isa.XZR {
+			continue
+		}
+		if p.tags.Contains(thread, d) {
+			p.lockIfPresent(thread, d)
+			// A destination with a fill still in flight (NoDummyDest
+			// path) is allocated but not yet writable-consistent; hold
+			// the instruction until the fill lands.
+			if _, filling := p.pending[regKey{thread, d}]; filling {
+				ready = false
+			}
+			continue
+		}
+		isSrc := false
+		for _, r := range needSrcs {
+			if r == d {
+				isSrc = true
+			}
+		}
+		if isSrc {
+			continue // the source path is already filling it
+		}
+		phys := p.allocate(thread, d)
+		if phys < 0 {
+			ready = false
+			continue
+		}
+		if p.cfg.NoDummyDest {
+			p.startFill(thread, d, phys)
+			ready = false
+		} else {
+			// Dummy-value optimization: the old value is not needed. A
+			// metadata-only read keeps the backing store's pin counters
+			// bookkeeping correct without stalling decode.
+			p.tags.FillDummy(phys)
+			p.DummyDests++
+			p.bsi.pushLoad(&bsiOp{
+				addr:   p.layout.RegAddr(thread, d),
+				kind:   mem.Read,
+				noCrit: true,
+			})
+		}
+	}
+	return ready
+}
+
+// ReadValue returns the cached value after touching the entry (pseudo-LRU
+// age reset plus speculative C-bit set).
+func (p *ViReC) ReadValue(thread int, r isa.Reg) uint64 {
+	if r == isa.XZR {
+		return 0
+	}
+	phys, ok := p.tags.Lookup(thread, r)
+	if !ok {
+		panic(fmt.Sprintf("regfile: ReadValue of non-resident %s (thread %d)", r, thread))
+	}
+	p.tags.Touch(phys)
+	return p.tags.ReadValue(phys)
+}
+
+// WriteValue installs a committed result. If the register was evicted
+// between decode and commit it is re-allocated (allocate-on-write); if a
+// fill is in flight the fill is superseded so its stale value is dropped.
+func (p *ViReC) WriteValue(thread int, r isa.Reg, v uint64) {
+	if r == isa.XZR {
+		return
+	}
+	key := regKey{thread, r}
+	if _, filling := p.pending[key]; filling {
+		p.superseded[key] = true
+		delete(p.pending, key)
+	}
+	phys, ok := p.tags.Lookup(thread, r)
+	if !ok {
+		phys = p.allocate(thread, r)
+		if phys < 0 {
+			// Pathological: every slot locked. Fall back to spilling the
+			// value straight to the backing store.
+			addr := p.layout.RegAddr(thread, r)
+			p.memory.Write64(addr, v)
+			p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write})
+			return
+		}
+		p.CommitReallocs++
+		p.bsi.pushLoad(&bsiOp{addr: p.layout.RegAddr(thread, r), kind: mem.Read, noCrit: true})
+	}
+	p.tags.Touch(phys)
+	p.tags.WriteValue(phys, v)
+}
+
+// InstDecoded pushes the instruction's physical registers into the
+// rollback queue and releases the decode locks.
+func (p *ViReC) InstDecoded(thread int, seq uint64, in *isa.Inst) {
+	var regs [6]isa.Reg
+	var physBuf [6]int
+	phys := physBuf[:0]
+	for _, r := range in.Regs(regs[:0]) {
+		if r == isa.XZR {
+			continue
+		}
+		idx, ok := p.tags.Lookup(thread, r)
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, seenIdx := range phys {
+			if seenIdx == idx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			phys = append(phys, idx)
+		}
+	}
+	p.rq.Push(seq, phys, in.IsMem())
+	if p.inflightRegs != nil {
+		var regs []isa.Reg
+		var buf [6]isa.Reg
+		for _, r := range in.Regs(buf[:0]) {
+			if r != isa.XZR {
+				regs = append(regs, r)
+			}
+		}
+		p.inflightRegs[seq] = regs
+	}
+	p.lockedInst = nil
+	clear(p.lockedPhys)
+}
+
+// InstCommitted retires the oldest rollback-queue entry and, under the
+// Belady policy, advances the thread's future-knowledge cursor past the
+// instruction's register accesses.
+func (p *ViReC) InstCommitted(thread int, seq uint64) {
+	p.rq.Commit(seq)
+	if p.inflightRegs != nil {
+		p.oracleCursor[thread] += uint32(len(p.inflightRegs[seq]))
+		delete(p.inflightRegs, seq)
+	}
+}
+
+// PipelineFlushed resets the C bits of all in-flight registers (unless
+// the rollback ablation is active, in which case the queue is drained
+// without resets).
+func (p *ViReC) PipelineFlushed(thread int) {
+	if p.inflightRegs != nil {
+		// Flushed instructions replay: their accesses stay in the future.
+		clear(p.inflightRegs)
+	}
+	if p.cfg.NoRollback {
+		p.rq.Drop()
+		return
+	}
+	p.rq.Flush()
+}
+
+// sysSlotOf returns the ping-pong slot holding thread, or -1.
+func (p *ViReC) sysSlotOf(thread int) int {
+	for i := range p.sysBuf {
+		if p.sysBuf[i].thread == thread {
+			return i
+		}
+	}
+	return -1
+}
+
+// loadSysregs begins fetching a thread's system-register line into slot i.
+func (p *ViReC) loadSysregs(i, thread int) {
+	p.sysBuf[i] = sysSlot{thread: thread, loading: true}
+	p.sysBsi.pushLoad(&bsiOp{
+		addr:   p.layout.SysRegAddr(thread),
+		kind:   mem.Read,
+		sticky: true,
+		onDone: func(uint64) {
+			if p.sysBuf[i].thread == thread {
+				p.sysBuf[i].ready = true
+				p.sysBuf[i].loading = false
+			}
+		},
+	})
+}
+
+// CanSwitchTo requires the next thread's system registers to be resident
+// in the ping-pong buffer; a miss starts the load and stalls the switch.
+func (p *ViReC) CanSwitchTo(next int) bool {
+	if i := p.sysSlotOf(next); i >= 0 {
+		return p.sysBuf[i].ready
+	}
+	// Not buffered: claim a slot not holding the current thread.
+	victim := 0
+	cur := p.tags.Current()
+	if p.sysBuf[0].thread == cur {
+		victim = 1
+	}
+	if old := p.sysBuf[victim]; old.thread >= 0 && old.ready {
+		p.sysBsi.pushStore(&bsiOp{addr: p.layout.SysRegAddr(old.thread), kind: mem.Write, noCrit: true})
+	}
+	p.loadSysregs(victim, next)
+	return false
+}
+
+// BlockSwitch masks context switches while register transactions are
+// outstanding at the BSI, per Section 5.3.
+func (p *ViReC) BlockSwitch() bool { return p.bsi.Outstanding() > 0 }
+
+// OnSwitch updates the T bits and rotates the system-register ping-pong
+// buffer: the previous thread's line is written back and the following
+// thread's line is prefetched, overlapping pipeline warmup.
+func (p *ViReC) OnSwitch(prev, next int) {
+	if prev < 0 {
+		p.tags.SetCurrent(next)
+	} else {
+		p.tags.OnContextSwitch(prev, next)
+	}
+	if p.cfg.NoSysregPrefetch {
+		return
+	}
+	// Prefetch the round-robin successor into the slot vacated by prev
+	// (or any slot not holding next).
+	succ := p.nextOf(next)
+	if succ < 0 || succ == next || p.sysSlotOf(succ) >= 0 {
+		return
+	}
+	victim := 0
+	if p.sysBuf[0].thread == next {
+		victim = 1
+	}
+	if old := p.sysBuf[victim]; old.thread >= 0 && old.thread != next && old.ready {
+		p.sysBsi.pushStore(&bsiOp{addr: p.layout.SysRegAddr(old.thread), kind: mem.Write, noCrit: true})
+	}
+	p.loadSysregs(victim, succ)
+	if p.cfg.PrefetchNext {
+		p.prefetchThread(succ)
+	}
+}
+
+// prefetchThread pulls the predicted registers of an upcoming thread into
+// the register file in the background (the prefetch-combined-caching
+// extension). Only registers that are neither resident nor already being
+// filled are fetched; the replacement policy protects the running
+// thread's registers from being displaced (they hold T=0).
+func (p *ViReC) prefetchThread(thread int) {
+	for _, r := range p.prefetchRegs[thread] {
+		if r == isa.XZR || p.tags.Contains(thread, r) {
+			continue
+		}
+		key := regKey{thread, r}
+		if _, filling := p.pending[key]; filling {
+			continue
+		}
+		phys := p.tags.SelectVictim(p.victimExclusions())
+		if phys < 0 {
+			return
+		}
+		// Never displace the running thread's registers for a prefetch.
+		if e := p.tags.Entry(phys); e.Valid && e.T == 0 {
+			return
+		}
+		victim, evicted := p.tags.Insert(thread, r, phys)
+		if evicted {
+			p.spill(victim)
+		}
+		p.pending[key] = phys
+		p.pendingPhys[phys] = true
+		addr := p.layout.RegAddr(thread, r)
+		p.Prefetches++
+		p.pfBsi.pushLoad(&bsiOp{
+			addr: addr,
+			kind: mem.Read,
+			onDone: func(uint64) {
+				delete(p.pendingPhys, phys)
+				if p.superseded[key] {
+					delete(p.superseded, key)
+					delete(p.pending, key)
+					return
+				}
+				if cur, ok := p.pending[key]; ok && cur == phys && p.tags.Contains(thread, r) {
+					p.tags.FillValue(phys, p.memory.Read64(addr))
+				}
+				delete(p.pending, key)
+			},
+		})
+	}
+}
+
+// ThreadStarted is a no-op: ViReC fills registers on demand.
+func (p *ViReC) ThreadStarted(thread int) {}
+
+// ThreadHalted drops the dead thread's registers. Pin counters in the
+// backing store are balanced with metadata-only writes.
+func (p *ViReC) ThreadHalted(thread int) {
+	p.halted[thread] = true
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		key := regKey{thread, r}
+		if phys, filling := p.pending[key]; filling {
+			p.superseded[key] = true
+			_ = phys
+		}
+		if p.tags.Contains(thread, r) {
+			p.bsi.pushStore(&bsiOp{addr: p.layout.RegAddr(thread, r), kind: mem.Write, noCrit: true})
+		}
+	}
+	p.tags.InvalidateThread(thread)
+	if i := p.sysSlotOf(thread); i >= 0 {
+		p.sysBuf[i] = sysSlot{thread: -1}
+	}
+	// Release the sticky pin on the dead thread's system-register line.
+	p.sysBsi.pushStore(&bsiOp{addr: p.layout.SysRegAddr(thread), kind: mem.Write,
+		noCrit: true, unpin: true})
+}
+
+// Tick drives the register BSI and the CSL's system-register engine; the
+// register BSI goes first, so fills win the dcache port over sysreg
+// prefetches.
+func (p *ViReC) Tick(cycle uint64) {
+	p.bsi.Tick(cycle)
+	p.sysBsi.Tick(cycle)
+	p.pfBsi.Tick(cycle)
+}
+
+// DebugState returns a snapshot of internal queue sizes for diagnostics.
+func (p *ViReC) DebugState() string {
+	return fmt.Sprintf("pending=%d pendingPhys=%d superseded=%d locked=%d bsiOut=%d loads=%d stores=%d sys=[%+v %+v]",
+		len(p.pending), len(p.pendingPhys), len(p.superseded), len(p.lockedPhys),
+		p.bsi.outstanding, len(p.bsi.loads), len(p.bsi.stores), p.sysBuf[0], p.sysBuf[1])
+}

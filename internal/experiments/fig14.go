@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strconv"
+
+	"github.com/virec/virec/internal/area"
+	"github.com/virec/virec/internal/stats"
+)
+
+func init() {
+	register("fig14", "Processor area vs thread count: banked (64-register "+
+		"banks) vs ViReC at 5/8/10/32 registers per thread, plus RF delay", fig14)
+}
+
+func fig14(opt Options) (*Report, error) {
+	m := area.Default()
+	rep := &Report{}
+	threadCounts := []int{2, 4, 8, 16, 32}
+
+	table := stats.NewTable("threads", "banked_mm2", "virec5_mm2", "virec8_mm2",
+		"virec10_mm2", "virec32_mm2")
+	for _, t := range threadCounts {
+		table.AddRow(t,
+			m.BankedCore(t),
+			m.ViReCCore(5*t),
+			m.ViReCCore(8*t),
+			m.ViReCCore(10*t),
+			m.ViReCCore(32*t),
+		)
+	}
+	rep.Tables = append(rep.Tables, table)
+
+	delay := stats.NewTable("config", "rf_delay_ns", "vs_baseline")
+	base := m.BankedDelayNs(1)
+	delay.AddRow("baseline (32 regs)", base, 1.0)
+	for _, n := range []int{24, 40, 64, 80, 120} {
+		d := m.ViReCDelayNs(n)
+		delay.AddRow("virec-"+strconv.Itoa(n), d, d/base)
+	}
+	for _, b := range []int{4, 8, 16} {
+		d := m.BankedDelayNs(b)
+		delay.AddRow("banked-"+strconv.Itoa(b)+"banks", d, d/base)
+	}
+	rep.Tables = append(rep.Tables, delay)
+
+	rep.notef("8 threads: ViReC @8 regs/thread = %.2f mm^2 vs banked %.2f mm^2 "+
+		"(%.0f%% saving; paper: up to 40%%)",
+		m.ViReCCore(8*8), m.BankedCore(8), 100*(1-m.ViReCCore(8*8)/m.BankedCore(8)))
+	rep.notef("full 32-reg contexts in the CAM overtake banks at 8 threads: "+
+		"%.2f vs %.2f mm^2 (paper: tag store scales poorly)",
+		m.ViReCCore(32*8), m.BankedCore(8))
+	rep.notef("80-register ViReC RF delay %.3f ns vs baseline %.3f ns (~10%% overhead)",
+		m.ViReCDelayNs(80), base)
+	return rep, nil
+}

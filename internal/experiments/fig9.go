@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/stats"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
+)
+
+func init() {
+	register("fig9", "Performance of ViReC (40/60/80% context) vs a banked "+
+		"processor and full/exact register prefetching at 4/6/8 threads", fig9)
+}
+
+// fig9Workloads returns the kernels used in the performance comparison.
+func fig9Workloads(quick bool) []*workloads.Spec {
+	if !quick {
+		return workloads.All()
+	}
+	names := []string{"gather", "stride", "meabo", "reduction"}
+	var out []*workloads.Spec
+	for _, n := range names {
+		w, _ := workloads.ByName(n)
+		out = append(out, w)
+	}
+	return out
+}
+
+func fig9(opt Options) (*Report, error) {
+	iters := opt.iters(192)
+	threadCounts := []int{4, 6, 8}
+	if opt.Quick {
+		threadCounts = []int{4, 8}
+	}
+	wls := fig9Workloads(opt.Quick)
+
+	table := stats.NewTable("workload", "threads", "banked",
+		"virec40", "virec60", "virec80", "pf_full", "pf_exact")
+	rep := &Report{}
+
+	// Collect normalized performance (to banked) for the mean rows.
+	type key struct {
+		threads int
+		config  string
+	}
+	norm := map[key][]float64{}
+
+	for _, w := range wls {
+		for _, threads := range threadCounts {
+			run := func(kind sim.CoreKind, pct int) (float64, error) {
+				res, err := sim.Simulate(sim.Config{
+					Kind: kind, ThreadsPerCore: threads,
+					Workload: w, Iters: iters,
+					ContextPct: pct, Policy: vrmu.LRC,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return perfOf(threads*iters, res.Cycles, 1.0), nil
+			}
+			banked, err := run(sim.Banked, 0)
+			if err != nil {
+				return nil, err
+			}
+			cols := []struct {
+				name string
+				kind sim.CoreKind
+				pct  int
+			}{
+				{"virec40", sim.ViReC, 40},
+				{"virec60", sim.ViReC, 60},
+				{"virec80", sim.ViReC, 80},
+				{"pf_full", sim.PrefetchFull, 0},
+				{"pf_exact", sim.PrefetchExact, 0},
+			}
+			row := []any{w.Name, threads, 1.0}
+			for _, c := range cols {
+				perf, err := run(c.kind, c.pct)
+				if err != nil {
+					return nil, err
+				}
+				rel := perf / banked
+				row = append(row, rel)
+				norm[key{threads, c.name}] = append(norm[key{threads, c.name}], rel)
+			}
+			table.AddRow(row...)
+		}
+	}
+	rep.Tables = append(rep.Tables, table)
+
+	mean := stats.NewTable("threads", "virec40", "virec60", "virec80", "pf_full", "pf_exact")
+	for _, threads := range threadCounts {
+		row := []any{threads}
+		for _, c := range []string{"virec40", "virec60", "virec80", "pf_full", "pf_exact"} {
+			row = append(row, stats.GeoMean(norm[key{threads, c}]))
+		}
+		mean.AddRow(row...)
+	}
+	rep.Tables = append(rep.Tables, mean)
+
+	for _, threads := range threadCounts {
+		v80 := stats.GeoMean(norm[key{threads, "virec80"}])
+		v40 := stats.GeoMean(norm[key{threads, "virec40"}])
+		rep.notef("%d threads: ViReC keeps %s of banked performance at 80%% context, %s at 40%%",
+			threads, fmt.Sprintf("%.1f%%", v80*100), fmt.Sprintf("%.1f%%", v40*100))
+	}
+	full := stats.GeoMean(norm[key{threadCounts[len(threadCounts)-1], "pf_full"}])
+	rep.notef("full-context prefetching reaches only %.1f%% of banked at %d threads "+
+		"(paper: almost always worse than caching)", full*100, threadCounts[len(threadCounts)-1])
+	return rep, nil
+}

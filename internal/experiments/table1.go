@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"github.com/virec/virec/internal/stats"
+)
+
+func init() {
+	register("table1", "Simulation parameters (the paper's Table 1 as realized here)", table1)
+}
+
+func table1(opt Options) (*Report, error) {
+	rep := &Report{}
+
+	cores := stats.NewTable("parameter", "OoO", "InO", "ViReC", "Banked")
+	cores.AddRow("clock", "2 GHz", "1 GHz", "1 GHz", "1 GHz")
+	cores.AddRow("issue", "8-wide (model)", "single", "single", "single")
+	cores.AddRow("registers", "384 phys / 224 ROB", "32", "24-120 phys (cached)", "8 banks x 32")
+	cores.AddRow("load queue", "113 LQ", "1 outstanding", "1 outstanding", "1 outstanding")
+	cores.AddRow("store queue", "120 SQ", "5 SQ", "5 SQ", "5 SQ")
+	rep.Tables = append(rep.Tables, cores)
+
+	mem := stats.NewTable("parameter", "value")
+	mem.AddRow("near-memory dcache", "8 KB 4-way, 2-cycle, 1R1W port, 24 MSHRs")
+	mem.AddRow("near-memory icache", "32 KB 4-way, 2-cycle, 1 port (fetch timing; instructions decode from program storage)")
+	mem.AddRow("OoO L1D", "32 KB 4-way, 4-cycle (functional model)")
+	mem.AddRow("OoO L2", "1 MB 8-way, 12-cycle, stride prefetcher degree 8")
+	mem.AddRow("crossbar", "6-cycle traversal, 2 req/cycle")
+	mem.AddRow("DRAM", "DDR5-flavoured: 2 channels, 16 banks/ch, tRP-tCL-tRCD 14-14-14")
+	mem.AddRow("register backing", "8 registers per 64 B line; 8 int+fp lines + 1 system line per thread")
+	rep.Tables = append(rep.Tables, mem)
+
+	virec := stats.NewTable("VRMU parameter", "value")
+	virec.AddRow("tag store bits", "T=3, C=1, A=3 (retention priority T.C.A)")
+	virec.AddRow("replacement policy", "LRC (PLRU/LRU/MRT-PLRU/MRT-LRU for comparison)")
+	virec.AddRow("rollback queue", "4 entries (backend depth)")
+	virec.AddRow("BSI", "non-blocking, fills before spills, dummy-destination optimization")
+	virec.AddRow("system registers", "ping-pong buffer, prefetch on switch, sticky-pinned lines")
+	rep.Tables = append(rep.Tables, virec)
+	return rep, nil
+}

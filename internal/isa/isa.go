@@ -1,0 +1,501 @@
+// Package isa defines the instruction set executed by the near-memory cores.
+//
+// The ISA is a 64-bit AArch64-flavoured load/store RISC: 31 general-purpose
+// integer registers (x0..x30) plus the zero register xzr, flag-setting
+// compares, conditional branches, and loads/stores with immediate,
+// register, and shifted-register addressing. Instructions are held in
+// decoded (struct) form; the assembler in package asm builds them from
+// text. The VRMU relies on the SrcRegs/DstRegs methods to know exactly
+// which architectural registers every instruction touches.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. X0..X30 are general purpose,
+// XZR reads as zero and discards writes, SP is the stack pointer.
+type Reg uint8
+
+// Architectural registers.
+const (
+	X0 Reg = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	X16
+	X17
+	X18
+	X19
+	X20
+	X21
+	X22
+	X23
+	X24
+	X25
+	X26
+	X27
+	X28
+	X29
+	X30
+	XZR // reads as zero, writes discarded
+)
+
+// Floating-point registers d0..d31 occupy indices 32..63. Values are
+// IEEE-754 binary64 bit patterns carried in the same uint64 datapath.
+const (
+	V0 Reg = NumIntRegs + iota
+	V1
+	V2
+	V3
+	V4
+	V5
+	V6
+	V7
+	V8
+	V9
+	V10
+	V11
+	V12
+	V13
+	V14
+	V15
+	V16
+	V17
+	V18
+	V19
+	V20
+	V21
+	V22
+	V23
+	V24
+	V25
+	V26
+	V27
+	V28
+	V29
+	V30
+	V31
+)
+
+// Register-file sizes. A full architectural context is NumRegs = 64
+// registers (32 integer + 32 floating point), matching Table 1's
+// 32/32 Int/FP register banks.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+)
+
+// SP is an alias: the stack pointer shares the encoding of x29's neighbour
+// in real AArch64; here we simply use x28 by convention in generated code.
+const SP = X28
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	if r == XZR {
+		return "xzr"
+	}
+	if r.IsFP() {
+		return fmt.Sprintf("d%d", uint8(r-NumIntRegs))
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumRegs }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The *I variants take an immediate second operand.
+const (
+	NOP Op = iota
+
+	// Integer ALU, register-register.
+	ADD
+	SUB
+	MUL
+	MADD // Rd = Ra + Rn*Rm
+	UDIV
+	SDIV
+	AND
+	ORR
+	EOR
+	LSLV // variable shifts
+	LSRV
+	ASRV
+
+	// Integer ALU, register-immediate.
+	ADDI
+	SUBI
+	ANDI
+	ORRI
+	EORI
+	LSLI
+	LSRI
+	ASRI
+
+	// Moves.
+	MOV  // Rd = Rn
+	MOVZ // Rd = imm << (16*shift)
+	MOVK // Rd[16*shift+:16] = imm
+
+	// Compares (set NZCV-style flags).
+	CMP  // flags(Rn - Rm)
+	CMPI // flags(Rn - imm)
+	TST  // flags(Rn & Rm)
+
+	// Conditional select.
+	CSEL  // Rd = cond ? Rn : Rm
+	CSINC // Rd = cond ? Rn : Rm+1
+
+	// Branches. Target is an instruction index.
+	B
+	BEQ
+	BNE
+	BLT
+	BLE
+	BGT
+	BGE
+	BLO  // unsigned <
+	BHS  // unsigned >=
+	CBZ  // branch if Rn == 0
+	CBNZ // branch if Rn != 0
+	BL   // branch and link (x30)
+	RET  // return via Rn (default x30)
+
+	// Loads. Address = Rn + offset per AddrMode.
+	LDR   // 64-bit load
+	LDRW  // 32-bit zero-extending load
+	LDRSW // 32-bit sign-extending load
+	LDRH  // 16-bit zero-extending load
+	LDRB  // 8-bit zero-extending load
+
+	// Stores.
+	STR  // 64-bit store
+	STRW // 32-bit store
+	STRH // 16-bit store
+	STRB // 8-bit store
+
+	// Floating point (binary64). Register operands are d-registers.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMADD // Rd = Ra + Rn*Rm
+	FNEG
+	FABS
+	FSQRT
+	FMOV   // d<->d, d<->x (bit pattern move)
+	FCMP   // flags(Rn - Rm), IEEE ordering
+	SCVTF  // signed int -> float
+	FCVTZS // float -> signed int, toward zero
+
+	// System.
+	HALT  // thread finished
+	YIELD // voluntary context-switch hint
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop",
+	ADD: "add", SUB: "sub", MUL: "mul", MADD: "madd", UDIV: "udiv", SDIV: "sdiv",
+	AND: "and", ORR: "orr", EOR: "eor", LSLV: "lslv", LSRV: "lsrv", ASRV: "asrv",
+	ADDI: "add", SUBI: "sub", ANDI: "and", ORRI: "orr", EORI: "eor",
+	LSLI: "lsl", LSRI: "lsr", ASRI: "asr",
+	MOV: "mov", MOVZ: "movz", MOVK: "movk",
+	CMP: "cmp", CMPI: "cmp", TST: "tst",
+	CSEL: "csel", CSINC: "csinc",
+	B: "b", BEQ: "b.eq", BNE: "b.ne", BLT: "b.lt", BLE: "b.le", BGT: "b.gt",
+	BGE: "b.ge", BLO: "b.lo", BHS: "b.hs", CBZ: "cbz", CBNZ: "cbnz",
+	BL: "bl", RET: "ret",
+	LDR: "ldr", LDRW: "ldrw", LDRSW: "ldrsw", LDRH: "ldrh", LDRB: "ldrb",
+	STR: "str", STRW: "strw", STRH: "strh", STRB: "strb",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FMADD: "fmadd",
+	FNEG: "fneg", FABS: "fabs", FSQRT: "fsqrt", FMOV: "fmov", FCMP: "fcmp",
+	SCVTF: "scvtf", FCVTZS: "fcvtzs",
+	HALT: "halt", YIELD: "yield",
+}
+
+// String returns the assembler mnemonic for the op.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// AddrMode selects how a load/store forms its effective address.
+type AddrMode uint8
+
+// Addressing modes for loads and stores.
+const (
+	AddrImm      AddrMode = iota // [Rn, #imm]
+	AddrReg                      // [Rn, Rm]
+	AddrRegShift                 // [Rn, Rm, lsl #shift]
+)
+
+// Cond is a condition code used by CSEL/CSINC.
+type Cond uint8
+
+// Condition codes.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+	CondLO
+	CondHS
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge", "lo", "hs"}
+
+// String returns the assembler name of the condition.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Inst is one decoded instruction. Fields are interpreted per Op:
+// Rd is the destination, Rn/Rm/Ra sources, Imm the immediate, Shift the
+// shift amount for LSLI-style ops and shifted-register addressing, Target
+// the branch destination (instruction index), Cond the CSEL condition and
+// Mode the load/store addressing mode.
+type Inst struct {
+	Op     Op
+	Rd     Reg
+	Rn     Reg
+	Rm     Reg
+	Ra     Reg // third source for MADD
+	Imm    int64
+	Shift  uint8
+	Target int32
+	Cond   Cond
+	Mode   AddrMode
+}
+
+// InstBytes is the architectural size of one instruction in memory. The
+// icache and PC arithmetic use it; instructions are not bit-encoded.
+const InstBytes = 4
+
+// IsLoad reports whether the instruction reads data memory.
+func (in *Inst) IsLoad() bool {
+	switch in.Op {
+	case LDR, LDRW, LDRSW, LDRH, LDRB:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes data memory.
+func (in *Inst) IsStore() bool {
+	switch in.Op {
+	case STR, STRW, STRH, STRB:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (in *Inst) IsMem() bool { return in.IsLoad() || in.IsStore() }
+
+// IsBranch reports whether the instruction can redirect control flow.
+func (in *Inst) IsBranch() bool {
+	switch in.Op {
+	case B, BEQ, BNE, BLT, BLE, BGT, BGE, BLO, BHS, CBZ, CBNZ, BL, RET:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the branch outcome depends on state.
+func (in *Inst) IsCondBranch() bool {
+	switch in.Op {
+	case BEQ, BNE, BLT, BLE, BGT, BGE, BLO, BHS, CBZ, CBNZ:
+		return true
+	}
+	return false
+}
+
+// ReadsFlags reports whether the instruction consumes the NZCV flags.
+func (in *Inst) ReadsFlags() bool {
+	switch in.Op {
+	case BEQ, BNE, BLT, BLE, BGT, BGE, BLO, BHS, CSEL, CSINC:
+		return true
+	}
+	return false
+}
+
+// SetsFlags reports whether the instruction produces the NZCV flags.
+func (in *Inst) SetsFlags() bool {
+	switch in.Op {
+	case CMP, CMPI, TST, FCMP:
+		return true
+	}
+	return false
+}
+
+// MemBytes returns the access width of a load or store, or 0.
+func (in *Inst) MemBytes() int {
+	switch in.Op {
+	case LDR, STR:
+		return 8
+	case LDRW, LDRSW, STRW:
+		return 4
+	case LDRH, STRH:
+		return 2
+	case LDRB, STRB:
+		return 1
+	}
+	return 0
+}
+
+// SrcRegs appends the architectural source registers of the instruction to
+// dst and returns it. XZR is included (it is a legal operand); callers that
+// treat it specially filter it out. The slice-append form avoids per-call
+// allocations in the decode hot path.
+func (in *Inst) SrcRegs(dst []Reg) []Reg {
+	switch in.Op {
+	case NOP, MOVZ, B, BL, HALT, YIELD, BEQ, BNE, BLT, BLE, BGT, BGE, BLO, BHS:
+		return dst
+	case ADD, SUB, MUL, UDIV, SDIV, AND, ORR, EOR, LSLV, LSRV, ASRV, TST, CMP,
+		FADD, FSUB, FMUL, FDIV, FCMP:
+		return append(dst, in.Rn, in.Rm)
+	case MADD, FMADD:
+		return append(dst, in.Rn, in.Rm, in.Ra)
+	case ADDI, SUBI, ANDI, ORRI, EORI, LSLI, LSRI, ASRI, MOV, CMPI, CBZ, CBNZ, RET,
+		FNEG, FABS, FSQRT, FMOV, SCVTF, FCVTZS:
+		return append(dst, in.Rn)
+	case MOVK:
+		return append(dst, in.Rd) // read-modify-write
+	case CSEL, CSINC:
+		return append(dst, in.Rn, in.Rm)
+	case LDR, LDRW, LDRSW, LDRH, LDRB:
+		switch in.Mode {
+		case AddrImm:
+			return append(dst, in.Rn)
+		default:
+			return append(dst, in.Rn, in.Rm)
+		}
+	case STR, STRW, STRH, STRB:
+		switch in.Mode {
+		case AddrImm:
+			return append(dst, in.Rd, in.Rn)
+		default:
+			return append(dst, in.Rd, in.Rn, in.Rm)
+		}
+	}
+	return dst
+}
+
+// DstRegs appends the architectural destination registers to dst and
+// returns it. Writes to XZR are architectural no-ops but still reported;
+// callers filter as needed.
+func (in *Inst) DstRegs(dst []Reg) []Reg {
+	switch in.Op {
+	case ADD, SUB, MUL, MADD, UDIV, SDIV, AND, ORR, EOR, LSLV, LSRV, ASRV,
+		ADDI, SUBI, ANDI, ORRI, EORI, LSLI, LSRI, ASRI,
+		MOV, MOVZ, MOVK, CSEL, CSINC,
+		FADD, FSUB, FMUL, FDIV, FMADD, FNEG, FABS, FSQRT, FMOV, SCVTF, FCVTZS,
+		LDR, LDRW, LDRSW, LDRH, LDRB:
+		return append(dst, in.Rd)
+	case BL:
+		return append(dst, X30)
+	}
+	return dst
+}
+
+// Regs appends all architectural registers the instruction touches,
+// sources first, then destinations, without deduplication.
+func (in *Inst) Regs(dst []Reg) []Reg {
+	dst = in.SrcRegs(dst)
+	return in.DstRegs(dst)
+}
+
+// String renders the instruction in assembler syntax.
+func (in *Inst) String() string {
+	switch in.Op {
+	case NOP, HALT, YIELD:
+		return in.Op.String()
+	case RET:
+		if in.Rn == X30 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", in.Rn)
+	case ADD, SUB, MUL, UDIV, SDIV, AND, ORR, EOR, LSLV, LSRV, ASRV,
+		FADD, FSUB, FMUL, FDIV:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rn, in.Rm)
+	case MADD, FMADD:
+		return fmt.Sprintf("%s %s, %s, %s, %s", in.Op, in.Rd, in.Rn, in.Rm, in.Ra)
+	case FNEG, FABS, FSQRT, FMOV, SCVTF, FCVTZS:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rn)
+	case FCMP:
+		return fmt.Sprintf("fcmp %s, %s", in.Rn, in.Rm)
+	case ADDI, SUBI, ANDI, ORRI, EORI:
+		return fmt.Sprintf("%s %s, %s, #%d", in.Op, in.Rd, in.Rn, in.Imm)
+	case LSLI, LSRI, ASRI:
+		return fmt.Sprintf("%s %s, %s, #%d", in.Op, in.Rd, in.Rn, in.Shift)
+	case MOV:
+		return fmt.Sprintf("mov %s, %s", in.Rd, in.Rn)
+	case MOVZ:
+		if in.Shift != 0 {
+			return fmt.Sprintf("movz %s, #%d, lsl #%d", in.Rd, in.Imm, 16*in.Shift)
+		}
+		return fmt.Sprintf("movz %s, #%d", in.Rd, in.Imm)
+	case MOVK:
+		if in.Shift != 0 {
+			return fmt.Sprintf("movk %s, #%d, lsl #%d", in.Rd, in.Imm, 16*in.Shift)
+		}
+		return fmt.Sprintf("movk %s, #%d", in.Rd, in.Imm)
+	case CMP:
+		return fmt.Sprintf("cmp %s, %s", in.Rn, in.Rm)
+	case CMPI:
+		return fmt.Sprintf("cmp %s, #%d", in.Rn, in.Imm)
+	case TST:
+		return fmt.Sprintf("tst %s, %s", in.Rn, in.Rm)
+	case CSEL, CSINC:
+		return fmt.Sprintf("%s %s, %s, %s, %s", in.Op, in.Rd, in.Rn, in.Rm, in.Cond)
+	case B, BEQ, BNE, BLT, BLE, BGT, BGE, BLO, BHS, BL:
+		return fmt.Sprintf("%s %d", in.Op, in.Target)
+	case CBZ, CBNZ:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rn, in.Target)
+	case LDR, LDRW, LDRSW, LDRH, LDRB:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.addrString())
+	case STR, STRW, STRH, STRB:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.addrString())
+	}
+	return fmt.Sprintf("%s ???", in.Op)
+}
+
+func (in *Inst) addrString() string {
+	switch in.Mode {
+	case AddrImm:
+		if in.Imm == 0 {
+			return fmt.Sprintf("[%s]", in.Rn)
+		}
+		return fmt.Sprintf("[%s, #%d]", in.Rn, in.Imm)
+	case AddrReg:
+		return fmt.Sprintf("[%s, %s]", in.Rn, in.Rm)
+	default:
+		return fmt.Sprintf("[%s, %s, lsl #%d]", in.Rn, in.Rm, in.Shift)
+	}
+}

@@ -1,0 +1,576 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if got := X0.String(); got != "x0" {
+		t.Errorf("X0.String() = %q, want x0", got)
+	}
+	if got := X30.String(); got != "x30" {
+		t.Errorf("X30.String() = %q, want x30", got)
+	}
+	if got := XZR.String(); got != "xzr" {
+		t.Errorf("XZR.String() = %q, want xzr", got)
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		if !r.Valid() {
+			t.Errorf("register %d should be valid", r)
+		}
+	}
+	if Reg(NumRegs).Valid() {
+		t.Error("register beyond the 64-register context should be invalid")
+	}
+}
+
+func TestSrcDstRegs(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Inst
+		src  []Reg
+		dst  []Reg
+	}{
+		{"add", Inst{Op: ADD, Rd: X0, Rn: X1, Rm: X2}, []Reg{X1, X2}, []Reg{X0}},
+		{"addi", Inst{Op: ADDI, Rd: X3, Rn: X4, Imm: 7}, []Reg{X4}, []Reg{X3}},
+		{"madd", Inst{Op: MADD, Rd: X0, Rn: X1, Rm: X2, Ra: X3}, []Reg{X1, X2, X3}, []Reg{X0}},
+		{"movz", Inst{Op: MOVZ, Rd: X5, Imm: 9}, nil, []Reg{X5}},
+		{"movk", Inst{Op: MOVK, Rd: X5, Imm: 9}, []Reg{X5}, []Reg{X5}},
+		{"cmp", Inst{Op: CMP, Rn: X1, Rm: X2}, []Reg{X1, X2}, nil},
+		{"cmpi", Inst{Op: CMPI, Rn: X1, Imm: 3}, []Reg{X1}, nil},
+		{"b", Inst{Op: B, Target: 4}, nil, nil},
+		{"beq", Inst{Op: BEQ, Target: 4}, nil, nil},
+		{"cbz", Inst{Op: CBZ, Rn: X9, Target: 2}, []Reg{X9}, nil},
+		{"bl", Inst{Op: BL, Target: 2}, nil, []Reg{X30}},
+		{"ret", Inst{Op: RET, Rn: X30}, []Reg{X30}, nil},
+		{"ldr imm", Inst{Op: LDR, Rd: X0, Rn: X1, Mode: AddrImm, Imm: 8}, []Reg{X1}, []Reg{X0}},
+		{"ldr reg", Inst{Op: LDR, Rd: X0, Rn: X1, Rm: X2, Mode: AddrReg}, []Reg{X1, X2}, []Reg{X0}},
+		{"ldrsw shift", Inst{Op: LDRSW, Rd: X6, Rn: X2, Rm: X5, Mode: AddrRegShift, Shift: 2}, []Reg{X2, X5}, []Reg{X6}},
+		{"str imm", Inst{Op: STR, Rd: X0, Rn: X1, Mode: AddrImm}, []Reg{X0, X1}, nil},
+		{"str reg", Inst{Op: STR, Rd: X0, Rn: X1, Rm: X2, Mode: AddrReg}, []Reg{X0, X1, X2}, nil},
+		{"halt", Inst{Op: HALT}, nil, nil},
+		{"csel", Inst{Op: CSEL, Rd: X0, Rn: X1, Rm: X2, Cond: CondEQ}, []Reg{X1, X2}, []Reg{X0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			src := tt.in.SrcRegs(nil)
+			if !regsEqual(src, tt.src) {
+				t.Errorf("SrcRegs = %v, want %v", src, tt.src)
+			}
+			dst := tt.in.DstRegs(nil)
+			if !regsEqual(dst, tt.dst) {
+				t.Errorf("DstRegs = %v, want %v", dst, tt.dst)
+			}
+			all := tt.in.Regs(nil)
+			if len(all) != len(src)+len(dst) {
+				t.Errorf("Regs len = %d, want %d", len(all), len(src)+len(dst))
+			}
+		})
+	}
+}
+
+func regsEqual(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInstPredicates(t *testing.T) {
+	ld := Inst{Op: LDR}
+	st := Inst{Op: STR}
+	add := Inst{Op: ADD}
+	br := Inst{Op: BEQ}
+	if !ld.IsLoad() || ld.IsStore() || !ld.IsMem() {
+		t.Error("LDR predicates wrong")
+	}
+	if st.IsLoad() || !st.IsStore() || !st.IsMem() {
+		t.Error("STR predicates wrong")
+	}
+	if add.IsMem() || add.IsBranch() {
+		t.Error("ADD predicates wrong")
+	}
+	if !br.IsBranch() || !br.IsCondBranch() || !br.ReadsFlags() {
+		t.Error("BEQ predicates wrong")
+	}
+	b := Inst{Op: B}
+	if !b.IsBranch() || b.IsCondBranch() {
+		t.Error("B predicates wrong")
+	}
+	cmp := Inst{Op: CMP}
+	if !cmp.SetsFlags() || cmp.ReadsFlags() {
+		t.Error("CMP predicates wrong")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	cases := map[Op]int{
+		LDR: 8, STR: 8, LDRW: 4, LDRSW: 4, STRW: 4,
+		LDRH: 2, STRH: 2, LDRB: 1, STRB: 1, ADD: 0,
+	}
+	for op, want := range cases {
+		in := Inst{Op: op}
+		if got := in.MemBytes(); got != want {
+			t.Errorf("MemBytes(%s) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestEvalALUArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Inst
+		op1  uint64
+		op2  uint64
+		op3  uint64
+		want uint64
+	}{
+		{"add", Inst{Op: ADD}, 3, 4, 0, 7},
+		{"sub", Inst{Op: SUB}, 10, 4, 0, 6},
+		{"sub wrap", Inst{Op: SUB}, 0, 1, 0, ^uint64(0)},
+		{"mul", Inst{Op: MUL}, 6, 7, 0, 42},
+		{"madd", Inst{Op: MADD}, 2, 3, 10, 16},
+		{"udiv", Inst{Op: UDIV}, 42, 6, 0, 7},
+		{"udiv by zero", Inst{Op: UDIV}, 42, 0, 0, 0},
+		{"sdiv", Inst{Op: SDIV}, ^uint64(41), 6, 0, ^uint64(6)}, // -42 / 6 = -7
+		{"and", Inst{Op: AND}, 0b1100, 0b1010, 0, 0b1000},
+		{"orr", Inst{Op: ORR}, 0b1100, 0b1010, 0, 0b1110},
+		{"eor", Inst{Op: EOR}, 0b1100, 0b1010, 0, 0b0110},
+		{"lslv", Inst{Op: LSLV}, 1, 4, 0, 16},
+		{"lsrv", Inst{Op: LSRV}, 16, 4, 0, 1},
+		{"addi", Inst{Op: ADDI, Imm: 5}, 10, 0, 0, 15},
+		{"subi", Inst{Op: SUBI, Imm: 5}, 10, 0, 0, 5},
+		{"lsli", Inst{Op: LSLI, Shift: 3}, 2, 0, 0, 16},
+		{"lsri", Inst{Op: LSRI, Shift: 3}, 16, 0, 0, 2},
+		{"mov", Inst{Op: MOV}, 99, 0, 0, 99},
+		{"movz", Inst{Op: MOVZ, Imm: 0x12}, 0, 0, 0, 0x12},
+		{"movz shifted", Inst{Op: MOVZ, Imm: 0x12, Shift: 1}, 0, 0, 0, 0x120000},
+		{"movk", Inst{Op: MOVK, Imm: 0x34, Shift: 1}, 0x12, 0, 0, 0x340012},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := EvalALU(&tt.in, tt.op1, tt.op2, tt.op3, Flags{})
+			if !r.WritesReg {
+				t.Fatal("expected WritesReg")
+			}
+			if r.Value != tt.want {
+				t.Errorf("got %#x, want %#x", r.Value, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalALUAsr(t *testing.T) {
+	in := Inst{Op: ASRI, Shift: 4}
+	minus256 := int64(-256)
+	r := EvalALU(&in, uint64(minus256), 0, 0, Flags{})
+	if int64(r.Value) != -16 {
+		t.Errorf("asr #4 of -256 = %d, want -16", int64(r.Value))
+	}
+}
+
+func TestCompareFlags(t *testing.T) {
+	tests := []struct {
+		a, b uint64
+		cond Cond
+		want bool
+	}{
+		{5, 5, CondEQ, true},
+		{5, 6, CondEQ, false},
+		{5, 6, CondNE, true},
+		{5, 6, CondLT, true},
+		{6, 5, CondLT, false},
+		{5, 5, CondLE, true},
+		{6, 5, CondGT, true},
+		{5, 5, CondGE, true},
+		{^uint64(0), 1, CondLT, true}, // signed: -1 < 1
+		{^uint64(0), 1, CondHS, true}, // unsigned: max >= 1
+		{1, ^uint64(0), CondLO, true}, // unsigned: 1 < max
+		{1, ^uint64(0), CondGT, true}, // signed: 1 > -1
+	}
+	for _, tt := range tests {
+		in := Inst{Op: CMP}
+		r := EvalALU(&in, tt.a, tt.b, 0, Flags{})
+		if !r.WritesFlag {
+			t.Fatal("CMP must write flags")
+		}
+		if got := r.Flags.Holds(tt.cond); got != tt.want {
+			t.Errorf("cmp %d,%d cond %s = %v, want %v", int64(tt.a), int64(tt.b), tt.cond, got, tt.want)
+		}
+	}
+}
+
+// Property: for all a, b the flag state of cmp a,b must make exactly one of
+// LT/EQ/GT hold (trichotomy, signed) and exactly one of LO/EQ/"HS and not EQ"
+// hold (unsigned).
+func TestCompareTrichotomyProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		in := Inst{Op: CMP}
+		r := EvalALU(&in, uint64(a), uint64(b), 0, Flags{})
+		lt, eq, gt := r.Flags.Holds(CondLT), r.Flags.Holds(CondEQ), r.Flags.Holds(CondGT)
+		n := 0
+		for _, v := range []bool{lt, eq, gt} {
+			if v {
+				n++
+			}
+		}
+		if n != 1 {
+			return false
+		}
+		if lt != (a < b) || eq != (a == b) || gt != (a > b) {
+			return false
+		}
+		// Unsigned relations.
+		ua, ub := uint64(a), uint64(b)
+		return r.Flags.Holds(CondLO) == (ua < ub) && r.Flags.Holds(CondHS) == (ua >= ub)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ADD/SUB round-trip — (a+b)-b == a under wraparound.
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		add := Inst{Op: ADD}
+		sub := Inst{Op: SUB}
+		sum := EvalALU(&add, a, b, 0, Flags{}).Value
+		back := EvalALU(&sub, sum, b, 0, Flags{}).Value
+		return back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffAddr(t *testing.T) {
+	imm := Inst{Op: LDR, Mode: AddrImm, Imm: 16}
+	if got := EffAddr(&imm, 100, 0); got != 116 {
+		t.Errorf("imm mode addr = %d, want 116", got)
+	}
+	reg := Inst{Op: LDR, Mode: AddrReg}
+	if got := EffAddr(&reg, 100, 20); got != 120 {
+		t.Errorf("reg mode addr = %d, want 120", got)
+	}
+	sh := Inst{Op: LDR, Mode: AddrRegShift, Shift: 3}
+	if got := EffAddr(&sh, 100, 4); got != 132 {
+		t.Errorf("shifted mode addr = %d, want 132", got)
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	b := Inst{Op: B}
+	if !BranchTaken(&b, Flags{}, 0) {
+		t.Error("B must always be taken")
+	}
+	cbz := Inst{Op: CBZ}
+	if !BranchTaken(&cbz, Flags{}, 0) || BranchTaken(&cbz, Flags{}, 1) {
+		t.Error("CBZ taken-ness wrong")
+	}
+	cbnz := Inst{Op: CBNZ}
+	if BranchTaken(&cbnz, Flags{}, 0) || !BranchTaken(&cbnz, Flags{}, 1) {
+		t.Error("CBNZ taken-ness wrong")
+	}
+	beq := Inst{Op: BEQ}
+	if !BranchTaken(&beq, Flags{Z: true}, 0) || BranchTaken(&beq, Flags{}, 0) {
+		t.Error("BEQ taken-ness wrong")
+	}
+}
+
+func TestLoadExtend(t *testing.T) {
+	raw := uint64(0xfedcba9876543210)
+	tests := []struct {
+		op   Op
+		want uint64
+	}{
+		{LDR, 0xfedcba9876543210},
+		{LDRW, 0x76543210},
+		{LDRSW, 0x76543210}, // positive 32-bit value: no sign bits
+		{LDRH, 0x3210},
+		{LDRB, 0x10},
+	}
+	for _, tt := range tests {
+		if got := LoadExtend(tt.op, raw); got != tt.want {
+			t.Errorf("LoadExtend(%s) = %#x, want %#x", tt.op, got, tt.want)
+		}
+	}
+	// Negative 32-bit value sign-extends.
+	if got := LoadExtend(LDRSW, 0xffffffff); got != ^uint64(0) {
+		t.Errorf("LDRSW of 0xffffffff = %#x, want all-ones", got)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: X0, Rn: X1, Rm: X2}, "add x0, x1, x2"},
+		{Inst{Op: ADDI, Rd: X0, Rn: X1, Imm: 4}, "add x0, x1, #4"},
+		{Inst{Op: LDR, Rd: X6, Rn: X2, Rm: X5, Mode: AddrRegShift, Shift: 3}, "ldr x6, [x2, x5, lsl #3]"},
+		{Inst{Op: STR, Rd: X1, Rn: X2, Mode: AddrImm, Imm: 8}, "str x1, [x2, #8]"},
+		{Inst{Op: CMP, Rn: X4, Rm: X3}, "cmp x4, x3"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: RET, Rn: X30}, "ret"},
+		{Inst{Op: CBNZ, Rn: X3, Target: 7}, "cbnz x3, 7"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// Property: every op's source/dest registers are always valid registers.
+func TestRegsAlwaysValidProperty(t *testing.T) {
+	f := func(opByte, rd, rn, rm, ra uint8) bool {
+		in := Inst{
+			Op: Op(opByte % uint8(numOps)),
+			Rd: Reg(rd % NumRegs), Rn: Reg(rn % NumRegs),
+			Rm: Reg(rm % NumRegs), Ra: Reg(ra % NumRegs),
+			Mode: AddrMode(opByte % 3),
+		}
+		for _, r := range in.Regs(nil) {
+			if !r.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPRegNames(t *testing.T) {
+	if got := V0.String(); got != "d0" {
+		t.Errorf("V0 = %q, want d0", got)
+	}
+	if got := V31.String(); got != "d31" {
+		t.Errorf("V31 = %q, want d31", got)
+	}
+	if !V5.IsFP() || X5.IsFP() || XZR.IsFP() {
+		t.Error("IsFP classification wrong")
+	}
+	if !V31.Valid() || Reg(NumRegs).Valid() {
+		t.Error("Valid range must cover 64 registers")
+	}
+}
+
+func TestFPArithmetic(t *testing.T) {
+	bits := math.Float64bits
+	tests := []struct {
+		name string
+		in   Inst
+		op1  float64
+		op2  float64
+		op3  float64
+		want float64
+	}{
+		{"fadd", Inst{Op: FADD}, 1.5, 2.25, 0, 3.75},
+		{"fsub", Inst{Op: FSUB}, 5, 1.5, 0, 3.5},
+		{"fmul", Inst{Op: FMUL}, 3, 0.5, 0, 1.5},
+		{"fdiv", Inst{Op: FDIV}, 7, 2, 0, 3.5},
+		{"fmadd", Inst{Op: FMADD}, 2, 3, 10, 16},
+		{"fneg", Inst{Op: FNEG}, 4.5, 0, 0, -4.5},
+		{"fabs", Inst{Op: FABS}, -4.5, 0, 0, 4.5},
+		{"fsqrt", Inst{Op: FSQRT}, 9, 0, 0, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := EvalALU(&tt.in, bits(tt.op1), bits(tt.op2), bits(tt.op3), Flags{})
+			if !r.WritesReg {
+				t.Fatal("expected WritesReg")
+			}
+			if got := math.Float64frombits(r.Value); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFPConversions(t *testing.T) {
+	scvtf := Inst{Op: SCVTF}
+	r := EvalALU(&scvtf, uint64(42), 0, 0, Flags{})
+	if math.Float64frombits(r.Value) != 42.0 {
+		t.Errorf("scvtf 42 = %v", math.Float64frombits(r.Value))
+	}
+	neg := int64(-7)
+	r = EvalALU(&scvtf, uint64(neg), 0, 0, Flags{})
+	if math.Float64frombits(r.Value) != -7.0 {
+		t.Errorf("scvtf -7 = %v", math.Float64frombits(r.Value))
+	}
+	fcvtzs := Inst{Op: FCVTZS}
+	r = EvalALU(&fcvtzs, math.Float64bits(-3.9), 0, 0, Flags{})
+	if int64(r.Value) != -3 {
+		t.Errorf("fcvtzs -3.9 = %d, want -3 (toward zero)", int64(r.Value))
+	}
+}
+
+func TestFCMPFlags(t *testing.T) {
+	bits := math.Float64bits
+	in := Inst{Op: FCMP}
+	cases := []struct {
+		a, b float64
+		cond Cond
+		want bool
+	}{
+		{1, 2, CondLT, true},
+		{2, 1, CondGT, true},
+		{2, 2, CondEQ, true},
+		{1, 2, CondGE, false},
+		{-1, 1, CondLT, true},
+	}
+	for _, c := range cases {
+		r := EvalALU(&in, bits(c.a), bits(c.b), 0, Flags{})
+		if got := r.Flags.Holds(c.cond); got != c.want {
+			t.Errorf("fcmp %v,%v cond %s = %v, want %v", c.a, c.b, c.cond, got, c.want)
+		}
+	}
+	// Unordered comparisons set C+V (AArch64 NZCV=0011): EQ, GT and GE
+	// are false; LT is true (AArch64 folds unordered into LT).
+	r := EvalALU(&in, bits(math.NaN()), bits(1.0), 0, Flags{})
+	if r.Flags.Holds(CondEQ) || r.Flags.Holds(CondGT) || r.Flags.Holds(CondGE) {
+		t.Error("NaN comparison must not compare equal/greater")
+	}
+	if !r.Flags.Holds(CondLT) {
+		t.Error("AArch64 unordered results satisfy LT")
+	}
+}
+
+// Property: FP round trip — fneg(fneg(x)) == x, fadd/fsub inverse within
+// exact arithmetic for integer-valued doubles.
+func TestFPRoundTripProperty(t *testing.T) {
+	f := func(ai, bi int32) bool {
+		a, b := float64(ai), float64(bi)
+		bits := math.Float64bits
+		neg := Inst{Op: FNEG}
+		n1 := EvalALU(&neg, bits(a), 0, 0, Flags{})
+		n2 := EvalALU(&neg, n1.Value, 0, 0, Flags{})
+		if math.Float64frombits(n2.Value) != a {
+			return false
+		}
+		add := Inst{Op: FADD}
+		sub := Inst{Op: FSUB}
+		s := EvalALU(&add, bits(a), bits(b), 0, Flags{})
+		back := EvalALU(&sub, s.Value, bits(b), 0, Flags{})
+		// Integer-valued doubles in int32 range add exactly.
+		return math.Float64frombits(back.Value) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPSrcDstRegs(t *testing.T) {
+	fmadd := Inst{Op: FMADD, Rd: V4, Rn: V6, Rm: V7, Ra: V4}
+	src := fmadd.SrcRegs(nil)
+	if len(src) != 3 || src[0] != V6 || src[1] != V7 || src[2] != V4 {
+		t.Errorf("fmadd srcs = %v", src)
+	}
+	dst := fmadd.DstRegs(nil)
+	if len(dst) != 1 || dst[0] != V4 {
+		t.Errorf("fmadd dsts = %v", dst)
+	}
+	ld := Inst{Op: LDR, Rd: V6, Rn: X2, Rm: X5, Mode: AddrRegShift, Shift: 3}
+	if d := ld.DstRegs(nil); len(d) != 1 || d[0] != V6 {
+		t.Errorf("fp load dsts = %v", d)
+	}
+	fcmp := Inst{Op: FCMP, Rn: V1, Rm: V2}
+	if !fcmp.SetsFlags() {
+		t.Error("FCMP must set flags")
+	}
+}
+
+// TestAllOpsHaveNamesAndRenderings: every op renders a mnemonic and a
+// non-empty assembly string for a representative instruction.
+func TestAllOpsHaveNamesAndRenderings(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		if opNames[op] == "" {
+			t.Errorf("op %d has no name", op)
+			continue
+		}
+		in := Inst{Op: op, Rd: X1, Rn: X2, Rm: X3, Ra: X4, Imm: 5, Target: 2}
+		if op >= FADD && op <= FCVTZS {
+			in.Rd, in.Rn, in.Rm, in.Ra = V1, V2, V3, V4
+		}
+		s := in.String()
+		if s == "" || len(s) < 1 {
+			t.Errorf("op %s renders empty", op)
+		}
+		// The mnemonic must appear in the rendering.
+		if got := in.Op.String(); got == "" {
+			t.Errorf("op %d String empty", op)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("out-of-range op String = %q", got)
+	}
+	if got := Cond(99).String(); got != "cond(99)" {
+		t.Errorf("out-of-range cond String = %q", got)
+	}
+}
+
+// TestRegsForAllOps: SrcRegs/DstRegs/Regs never panic and stay valid for
+// every op at every addressing mode.
+func TestRegsForAllOps(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		for mode := AddrImm; mode <= AddrRegShift; mode++ {
+			in := Inst{Op: op, Rd: X1, Rn: X2, Rm: X3, Ra: X4, Mode: mode}
+			for _, r := range in.Regs(nil) {
+				if !r.Valid() {
+					t.Errorf("op %s mode %d: invalid reg %d", op, mode, r)
+				}
+			}
+		}
+	}
+}
+
+func TestCSELAndCSINC(t *testing.T) {
+	csel := Inst{Op: CSEL, Cond: CondEQ}
+	r := EvalALU(&csel, 10, 20, 0, Flags{Z: true})
+	if r.Value != 10 {
+		t.Errorf("csel taken = %d, want 10", r.Value)
+	}
+	r = EvalALU(&csel, 10, 20, 0, Flags{})
+	if r.Value != 20 {
+		t.Errorf("csel not-taken = %d, want 20", r.Value)
+	}
+	csinc := Inst{Op: CSINC, Cond: CondNE}
+	r = EvalALU(&csinc, 10, 20, 0, Flags{})
+	if r.Value != 10 {
+		t.Errorf("csinc taken = %d, want 10", r.Value)
+	}
+	r = EvalALU(&csinc, 10, 20, 0, Flags{Z: true})
+	if r.Value != 21 {
+		t.Errorf("csinc not-taken = %d, want 21", r.Value)
+	}
+}
+
+func TestVariableShiftsAndDivEdges(t *testing.T) {
+	asrv := Inst{Op: ASRV}
+	r := EvalALU(&asrv, ^uint64(15), 2, 0, Flags{}) // -16 >> 2 = -4
+	if int64(r.Value) != -4 {
+		t.Errorf("asrv = %d, want -4", int64(r.Value))
+	}
+	sdiv := Inst{Op: SDIV}
+	r = EvalALU(&sdiv, 7, 0, 0, Flags{})
+	if r.Value != 0 {
+		t.Errorf("sdiv by zero = %d, want 0", r.Value)
+	}
+	tst := Inst{Op: TST}
+	r = EvalALU(&tst, 0b1100, 0b0011, 0, Flags{})
+	if !r.Flags.Z {
+		t.Error("tst of disjoint masks must set Z")
+	}
+}

@@ -1,0 +1,435 @@
+// Package cache models a set-associative write-back cache with MSHRs and
+// a bounded access port, plus the ViReC backing-store extensions from
+// Section 5.3 of the paper: cache lines are tagged as register or data
+// lines, register lines carry a 3-bit pin counter that prevents their
+// eviction while registers from the line are alive in the register file,
+// and load misses to *data* addresses raise a miss signal that the context
+// switching logic uses to trigger a thread switch. Misses to the reserved
+// register region never raise the signal.
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/virec/virec/internal/mem"
+)
+
+// Config parameterizes a cache instance.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	HitLatency int // cycles from access to data for a hit
+	MSHRs      int // outstanding line fills
+	Ports      int // accesses accepted per cycle
+
+	// RegRegionBase/RegRegionSize delimit the reserved register region.
+	// Requests with RegisterFill set must target this region; misses
+	// inside it never raise the miss signal. Zero size disables pinning.
+	RegRegionBase mem.Addr
+	RegRegionSize uint64
+
+	// PinningDisabled turns off register-line pinning (an ablation from
+	// DESIGN.md): register lines become ordinary evictable lines.
+	PinningDisabled bool
+}
+
+// Stats accumulates cache statistics.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64
+	MergedMisses uint64 // secondary misses merged into an MSHR
+	Writebacks   uint64
+	Fills        uint64
+	PortRejects  uint64
+	MSHRRejects  uint64
+	PinnedEvicts uint64 // pinned register lines sacrificed for data misses
+	RegReads     uint64 // register-region reads (fills into the RF)
+	RegWrites    uint64 // register-region writes (spills out of the RF)
+	DataLoadMiss uint64 // misses that raised the context-switch signal
+}
+
+// HitRate returns hits / (hits+misses).
+func (s *Stats) HitRate() float64 {
+	t := s.Hits + s.Misses + s.MergedMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+const maxPin = 7 // 3-bit pin counter, saturating
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	isReg   bool  // register/data bit
+	pin     uint8 // 3-bit pin counter
+	sticky  bool  // pinned until an explicit Unpin (system registers)
+	lastUse uint64
+}
+
+type mshr struct {
+	lineAddr    mem.Addr
+	set         int
+	issued      bool
+	waiting     []*mem.Request
+	dirtyOnFill bool // a merged write marks the line dirty when it lands
+}
+
+type hitEvent struct {
+	cycle uint64
+	seq   uint64
+	req   *mem.Request
+}
+
+type hitHeap []hitEvent
+
+func (h hitHeap) Len() int { return len(h) }
+func (h hitHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)   { *h = append(*h, x.(hitEvent)) }
+func (h *hitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Cache is a set-associative write-back cache. It implements mem.Device.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	numSets int
+	mshrs   map[mem.Addr]*mshr
+	below   mem.Device
+
+	pendingHits hitHeap
+	writebackQ  []*mem.Request // retried when below rejects
+	fillRetryQ  []*mshr        // fills the lower level rejected
+	seq         uint64
+	useClock    uint64
+	acceptedNow int
+	now         uint64
+
+	// Stats is exported read-only for reporting.
+	Stats Stats
+}
+
+// New builds a cache over the given lower-level device.
+func New(cfg Config, below mem.Device) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry %+v", cfg.Name, cfg))
+	}
+	numLines := cfg.SizeBytes / mem.LineBytes
+	numSets := numLines / cfg.Assoc
+	if numSets == 0 {
+		numSets = 1
+		cfg.Assoc = numLines
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 1
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 1
+	}
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		numSets: numSets,
+		mshrs:   make(map[mem.Addr]*mshr),
+		below:   below,
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(a mem.Addr) (set int, tag uint64) {
+	lineNum := uint64(a) / mem.LineBytes
+	return int(lineNum % uint64(c.numSets)), lineNum / uint64(c.numSets)
+}
+
+// inRegRegion reports whether a falls in the reserved register region.
+func (c *Cache) inRegRegion(a mem.Addr) bool {
+	return c.cfg.RegRegionSize > 0 &&
+		a >= c.cfg.RegRegionBase &&
+		uint64(a-c.cfg.RegRegionBase) < c.cfg.RegRegionSize
+}
+
+// Access presents a request to the cache. It returns false if the port is
+// saturated this cycle, no MSHR is free for a miss, or every way in the
+// target set is pinned or filling.
+func (c *Cache) Access(r *mem.Request) bool {
+	if c.acceptedNow >= c.cfg.Ports {
+		c.Stats.PortRejects++
+		return false
+	}
+	la := r.Addr.LineAddr()
+	set, tag := c.index(r.Addr)
+
+	// Hit?
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if ln.valid && ln.tag == tag {
+			c.acceptedNow++
+			c.useClock++
+			ln.lastUse = c.useClock
+			if r.Kind == mem.Write {
+				ln.dirty = true
+			}
+			c.touchRegLine(ln, r)
+			c.Stats.Hits++
+			c.seq++
+			heap.Push(&c.pendingHits, hitEvent{
+				cycle: c.now + uint64(c.cfg.HitLatency),
+				seq:   c.seq,
+				req:   r,
+			})
+			return true
+		}
+	}
+
+	// Merged miss?
+	if m, ok := c.mshrs[la]; ok {
+		c.acceptedNow++
+		c.Stats.MergedMisses++
+		if r.Kind == mem.Write {
+			m.dirtyOnFill = true
+		}
+		m.waiting = append(m.waiting, r)
+		c.signalMiss(r)
+		return true
+	}
+
+	// Primary miss: allocate an MSHR; the victim way is chosen when the
+	// fill returns, so in-flight fills never block a set.
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.Stats.MSHRRejects++
+		return false
+	}
+	c.acceptedNow++
+	c.Stats.Misses++
+	c.signalMiss(r)
+
+	m := &mshr{lineAddr: la, set: set, waiting: []*mem.Request{r}}
+	if r.Kind == mem.Write {
+		m.dirtyOnFill = true
+	}
+	c.mshrs[la] = m
+	c.issueFill(m)
+	if !m.issued {
+		c.fillRetryQ = append(c.fillRetryQ, m)
+	}
+	return true
+}
+
+// touchRegLine maintains the register/data bit and the pin counter.
+func (c *Cache) touchRegLine(ln *line, r *mem.Request) {
+	if !c.inRegRegion(r.Addr) {
+		return
+	}
+	ln.isReg = true
+	if r.Kind == mem.Read {
+		c.Stats.RegReads++
+	} else {
+		c.Stats.RegWrites++
+	}
+	if c.cfg.PinningDisabled {
+		return
+	}
+	if r.Unpin {
+		ln.sticky = false
+		ln.pin = 0
+		return
+	}
+	if r.PinSticky {
+		ln.sticky = true
+	}
+	if r.Kind == mem.Read {
+		if ln.pin < maxPin {
+			ln.pin++
+		}
+	} else if ln.pin > 0 {
+		ln.pin--
+	}
+}
+
+// signalMiss raises the context-switch signal for data load misses.
+func (c *Cache) signalMiss(r *mem.Request) {
+	if r.Kind != mem.Read || r.RegisterFill || r.Inst {
+		return
+	}
+	if c.inRegRegion(r.Addr) {
+		return
+	}
+	c.Stats.DataLoadMiss++
+	if r.Miss != nil {
+		r.Miss(c.now + uint64(c.cfg.HitLatency))
+	}
+}
+
+// victim picks the LRU way among evictable lines. Pinned register lines
+// are skipped while any unpinned way exists, but when a set fills up with
+// pinned lines the LRU pinned line is sacrificed anyway — pinning
+// accelerates register traffic, it must never starve data accesses.
+func (c *Cache) victim(set int) int {
+	best, bestPinned := -1, -1
+	var bestUse, bestPinnedUse uint64
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if !ln.valid {
+			return w
+		}
+		if ln.pin > 0 || ln.sticky {
+			if bestPinned < 0 || ln.lastUse < bestPinnedUse {
+				bestPinned, bestPinnedUse = w, ln.lastUse
+			}
+			continue
+		}
+		if best < 0 || ln.lastUse < bestUse {
+			best, bestUse = w, ln.lastUse
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	if bestPinned >= 0 {
+		c.Stats.PinnedEvicts++
+		return bestPinned
+	}
+	return -1
+}
+
+func (c *Cache) lineAddrOf(set int, tag uint64) mem.Addr {
+	return mem.Addr((tag*uint64(c.numSets) + uint64(set)) * mem.LineBytes)
+}
+
+func (c *Cache) issueFill(m *mshr) {
+	if m.issued {
+		return
+	}
+	fill := &mem.Request{
+		Addr: m.lineAddr,
+		Size: mem.LineBytes,
+		Kind: mem.Read,
+		Done: func(cycle uint64) { c.fillDone(m, cycle) },
+	}
+	// Preserve routing hints from the first waiter so lower levels can
+	// classify traffic.
+	if len(m.waiting) > 0 {
+		fill.Inst = m.waiting[0].Inst
+		fill.RegisterFill = m.waiting[0].RegisterFill
+	}
+	if c.below.Access(fill) {
+		m.issued = true
+	}
+}
+
+func (c *Cache) fillDone(m *mshr, cycle uint64) {
+	c.Stats.Fills++
+	way := c.victim(m.set)
+	// victim always finds a way: invalid first, then LRU unpinned, then a
+	// sacrificed pinned line.
+	ln := &c.sets[m.set][way]
+	if ln.valid && ln.dirty {
+		c.Stats.Writebacks++
+		c.writebackQ = append(c.writebackQ, &mem.Request{
+			Addr: c.lineAddrOf(m.set, ln.tag),
+			Size: mem.LineBytes,
+			Kind: mem.Write,
+		})
+	}
+	_, tag := c.index(m.lineAddr)
+	c.useClock++
+	*ln = line{tag: tag, valid: true, dirty: m.dirtyOnFill, lastUse: c.useClock}
+	for _, r := range m.waiting {
+		c.touchRegLine(ln, r)
+		r.Complete(cycle)
+	}
+	delete(c.mshrs, m.lineAddr)
+}
+
+// Tick retires due hits, retries unissued fills and drains the writeback
+// queue. It must be called once per cycle before the lower level's Tick.
+func (c *Cache) Tick(cycle uint64) {
+	c.now = cycle
+	c.acceptedNow = 0
+	for len(c.pendingHits) > 0 && c.pendingHits[0].cycle <= cycle {
+		ev := heap.Pop(&c.pendingHits).(hitEvent)
+		ev.req.Complete(ev.cycle)
+	}
+	if len(c.fillRetryQ) > 0 {
+		remaining := c.fillRetryQ[:0]
+		for _, m := range c.fillRetryQ {
+			if !m.issued {
+				c.issueFill(m)
+			}
+			if !m.issued {
+				remaining = append(remaining, m)
+			}
+		}
+		c.fillRetryQ = remaining
+	}
+	for len(c.writebackQ) > 0 {
+		if !c.below.Access(c.writebackQ[0]) {
+			break
+		}
+		c.writebackQ = c.writebackQ[1:]
+	}
+}
+
+// PinnedLines returns the number of currently pinned lines (tests, stats).
+func (c *Cache) PinnedLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			if ln.valid && (ln.pin > 0 || ln.sticky) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// workloads run. It returns a descriptive error string or "".
+func (c *Cache) CheckInvariants() string {
+	if len(c.mshrs) > c.cfg.MSHRs {
+		return fmt.Sprintf("%d MSHRs in use, limit %d", len(c.mshrs), c.cfg.MSHRs)
+	}
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			if ln.pin > maxPin {
+				return fmt.Sprintf("set %d way %d pin %d > max", s, w, ln.pin)
+			}
+			if (ln.pin > 0 || ln.sticky) && !ln.isReg {
+				return fmt.Sprintf("set %d way %d pinned but not a register line", s, w)
+			}
+			if (ln.pin > 0 || ln.sticky) && c.cfg.PinningDisabled {
+				return fmt.Sprintf("set %d way %d pinned with pinning disabled", s, w)
+			}
+		}
+	}
+	return ""
+}
+
+// Idle reports whether no hits, fills or writebacks are outstanding.
+func (c *Cache) Idle() bool {
+	return len(c.pendingHits) == 0 && len(c.mshrs) == 0 && len(c.writebackQ) == 0
+}

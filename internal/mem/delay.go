@@ -1,0 +1,64 @@
+package mem
+
+import "container/heap"
+
+// DelayDevice is a memory device that completes every request after a
+// fixed latency with unlimited bandwidth. It stands in for the full DRAM
+// model in unit tests and latency-sensitivity experiments where queueing
+// effects are deliberately excluded.
+type DelayDevice struct {
+	Latency uint64
+
+	pending delayHeap
+	seq     uint64
+	now     uint64
+}
+
+// NewDelayDevice returns a device with the given fixed latency in cycles.
+func NewDelayDevice(latency uint64) *DelayDevice {
+	return &DelayDevice{Latency: latency}
+}
+
+type delayEvent struct {
+	cycle uint64
+	seq   uint64
+	req   *Request
+}
+
+type delayHeap []delayEvent
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(delayEvent)) }
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Access always accepts.
+func (d *DelayDevice) Access(r *Request) bool {
+	d.seq++
+	heap.Push(&d.pending, delayEvent{cycle: d.now + d.Latency, seq: d.seq, req: r})
+	return true
+}
+
+// Tick completes due requests.
+func (d *DelayDevice) Tick(cycle uint64) {
+	d.now = cycle
+	for len(d.pending) > 0 && d.pending[0].cycle <= cycle {
+		ev := heap.Pop(&d.pending).(delayEvent)
+		ev.req.Complete(ev.cycle)
+	}
+}
+
+// Idle reports whether no requests are in flight.
+func (d *DelayDevice) Idle() bool { return len(d.pending) == 0 }

@@ -1,0 +1,132 @@
+package ooo_test
+
+import (
+	"testing"
+
+	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/interp"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/ooo"
+	"github.com/virec/virec/internal/workloads"
+)
+
+func runKernel(t *testing.T, name string, iters int) ooo.Result {
+	t.Helper()
+	spec, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %q", name)
+	}
+	m := mem.NewMemory()
+	var ctx interp.Context
+	p := workloads.DefaultParams(0)
+	p.Iters = iters
+	spec.Setup(m, 0x10000, p, func(r isa.Reg, v uint64) { ctx.Set(r, v) })
+	return ooo.Run(ooo.DefaultConfig(), spec.Prog, &ctx, m)
+}
+
+func TestIndependentALUReachesIssueWidth(t *testing.T) {
+	// 8 independent movz chains: IPC should approach the issue width.
+	prog := asm.MustAssemble("wide", `
+		mov x10, #0
+	loop:
+		movz x1, #1
+		movz x2, #2
+		movz x3, #3
+		movz x4, #4
+		movz x5, #5
+		movz x6, #6
+		movz x7, #7
+		movz x8, #8
+		add x10, x10, #1
+		cmp x10, #1000
+		b.lt loop
+		halt
+	`)
+	var ctx interp.Context
+	r := ooo.Run(ooo.DefaultConfig(), prog, &ctx, mem.NewMemory())
+	if r.IPC < 4 {
+		t.Errorf("independent ALU IPC = %.2f, want >= 4 on an 8-wide core", r.IPC)
+	}
+}
+
+func TestSerialChainIPCNearOne(t *testing.T) {
+	prog := asm.MustAssemble("serial", `
+		mov x1, #0
+		mov x2, #0
+	loop:
+		add x1, x1, #1
+		add x1, x1, #1
+		add x1, x1, #1
+		add x1, x1, #1
+		add x2, x2, #1
+		cmp x2, #1000
+		b.lt loop
+		halt
+	`)
+	var ctx interp.Context
+	r := ooo.Run(ooo.DefaultConfig(), prog, &ctx, mem.NewMemory())
+	// The x1 chain serializes at ~4 cycles/iteration for 7 instructions.
+	if r.IPC > 2.5 {
+		t.Errorf("dependent-chain IPC = %.2f, expected < 2.5", r.IPC)
+	}
+}
+
+func TestGatherBeatsChase(t *testing.T) {
+	// Gather has MLP an OoO can mine; a pointer chase has none.
+	g := runKernel(t, "gather", 512)
+	c := runKernel(t, "chase", 512)
+	if g.IPC <= c.IPC {
+		t.Errorf("gather IPC %.3f <= chase IPC %.3f; MLP extraction missing", g.IPC, c.IPC)
+	}
+}
+
+func TestStridePrefetcherHelps(t *testing.T) {
+	// The streaming reduction should enjoy a decent L2 hit rate thanks to
+	// the stride prefetcher.
+	r := runKernel(t, "reduction", 2048)
+	if r.L1Miss == 0 {
+		t.Skip("reduction fits in L1 at this size")
+	}
+	hitFrac := float64(r.L2Hits) / float64(r.L2Hits+r.L2Miss)
+	if hitFrac < 0.5 {
+		t.Errorf("L2 hit fraction %.2f with stride prefetcher, want >= 0.5", hitFrac)
+	}
+}
+
+func TestMSHRLimitBounds(t *testing.T) {
+	// With one MSHR, gather collapses toward serial-miss performance.
+	spec, _ := workloads.ByName("gather")
+	m := mem.NewMemory()
+	var ctx interp.Context
+	p := workloads.DefaultParams(0)
+	p.Iters = 512
+	spec.Setup(m, 0x10000, p, func(r isa.Reg, v uint64) { ctx.Set(r, v) })
+	cfg := ooo.DefaultConfig()
+	cfg.MSHRs = 1
+	one := ooo.Run(cfg, spec.Prog, &ctx, m)
+
+	m2 := mem.NewMemory()
+	var ctx2 interp.Context
+	spec.Setup(m2, 0x10000, p, func(r isa.Reg, v uint64) { ctx2.Set(r, v) })
+	many := ooo.Run(ooo.DefaultConfig(), spec.Prog, &ctx2, m2)
+	if one.Cycles <= many.Cycles {
+		t.Errorf("1-MSHR run (%d cycles) not slower than 32-MSHR (%d)", one.Cycles, many.Cycles)
+	}
+}
+
+func TestTimeUsesFrequency(t *testing.T) {
+	r := runKernel(t, "reduction", 256)
+	wantNs := float64(r.Cycles) / 2.0
+	if r.TimeNs != wantNs {
+		t.Errorf("TimeNs = %f, want %f (2 GHz)", r.TimeNs, wantNs)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := runKernel(t, "gather", 256)
+	b := runKernel(t, "gather", 256)
+	if a.Cycles != b.Cycles || a.Insts != b.Insts {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

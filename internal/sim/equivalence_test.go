@@ -1,0 +1,117 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/virec/virec/internal/cpu/regfile"
+	"github.com/virec/virec/internal/interp"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
+)
+
+// TestPipelineMatchesInterpreterInstructionCounts cross-checks the two
+// independent execution engines: the timed pipeline must commit exactly
+// the instructions the functional interpreter executes, for every kernel.
+func TestPipelineMatchesInterpreterInstructionCounts(t *testing.T) {
+	const iters = 64
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			// Functional execution.
+			m := mem.NewMemory()
+			var ctx interp.Context
+			p := workloads.Params{Iters: iters, Seed: 0x9e3779b97f4a7c15}
+			w.Setup(m, 0x10000, p, func(r isa.Reg, v uint64) { ctx.Set(r, v) })
+			fn := interp.MustRun(w.Prog, &ctx, m, 100_000_000)
+
+			// Timed execution, single thread (no replays inflate commits
+			// beyond... replays never double-commit, so counts match).
+			res, err := sim.Simulate(sim.Config{
+				Kind: sim.ViReC, ThreadsPerCore: 1,
+				Workload: w, Iters: iters,
+				ContextPct: 100, Policy: vrmu.LRC,
+				ValidateValues: true,
+				Seed:           0x9e3779b97f4a7c15,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Insts != fn.Insts {
+				t.Errorf("pipeline committed %d instructions, interpreter executed %d",
+					res.Insts, fn.Insts)
+			}
+		})
+	}
+}
+
+// TestProvidersAgreeOnCommitCounts runs the same multithreaded workload on
+// every provider: instruction counts must be identical (the register
+// architecture changes timing, never architectural execution).
+func TestProvidersAgreeOnCommitCounts(t *testing.T) {
+	w := gather(t)
+	kinds := []sim.CoreKind{sim.Banked, sim.ViReC, sim.Software, sim.PrefetchFull, sim.PrefetchExact}
+	var counts []uint64
+	for _, kind := range kinds {
+		res, err := sim.Simulate(sim.Config{
+			Kind: kind, ThreadsPerCore: 4,
+			Workload: w, Iters: 64,
+			ContextPct: 60, Policy: vrmu.LRC,
+			ValidateValues: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		counts = append(counts, res.Insts)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Errorf("%v committed %d instructions, %v committed %d",
+				kinds[i], counts[i], kinds[0], counts[0])
+		}
+	}
+}
+
+// TestFPWorkloadsAcrossProviders runs the floating-point kernels on every
+// provider with golden verification (bit-exact doubles).
+func TestFPWorkloadsAcrossProviders(t *testing.T) {
+	kinds := []sim.CoreKind{sim.Banked, sim.ViReC, sim.Software, sim.PrefetchExact}
+	for _, name := range []string{"fpdot", "fptriad", "nbody"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		for _, kind := range kinds {
+			t.Run(name+"/"+kind.String(), func(t *testing.T) {
+				_, err := sim.Simulate(sim.Config{
+					Kind: kind, ThreadsPerCore: 4,
+					Workload: w, Iters: 64,
+					ContextPct: 80, Policy: vrmu.LRC,
+					ValidateValues: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestExtensionsEndToEnd runs the future-work extensions with validation.
+func TestExtensionsEndToEnd(t *testing.T) {
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			_, err := sim.Simulate(sim.Config{
+				Kind: sim.ViReC, ThreadsPerCore: 6,
+				Workload: w, Iters: 48,
+				ContextPct: 50, Policy: vrmu.LRC,
+				ViReCOpts:      regfile.ViReCConfig{GroupEvict: true, PrefetchNext: true},
+				ValidateValues: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,481 @@
+// Package sim composes complete near-memory systems out of the simulator
+// building blocks: one or more CGMT cores (with any register provider),
+// private L1 dcaches, a shared crossbar and the DDR5-flavoured memory
+// controller, as in the paper's evaluation setup (Table 1, Section 6).
+// It also implements the task-offload mechanism: thread contexts are
+// written into each core's reserved register region in memory, and cores
+// fetch them when a thread is first scheduled.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/virec/virec/internal/cpu"
+	"github.com/virec/virec/internal/cpu/regfile"
+	"github.com/virec/virec/internal/interp"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/mem/cache"
+	"github.com/virec/virec/internal/mem/dram"
+	"github.com/virec/virec/internal/mem/xbar"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
+)
+
+// CoreKind selects the register-context architecture of every core.
+type CoreKind int
+
+// Core kinds evaluated in the paper.
+const (
+	// Banked is the banked-register-file CGMT baseline.
+	Banked CoreKind = iota
+	// ViReC is the paper's architecture.
+	ViReC
+	// Software is software context switching.
+	Software
+	// PrefetchFull double-buffers complete contexts.
+	PrefetchFull
+	// PrefetchExact double-buffers oracle-predicted contexts.
+	PrefetchExact
+)
+
+var coreKindNames = [...]string{"banked", "virec", "software", "prefetch-full", "prefetch-exact"}
+
+// String returns the kind's name.
+func (k CoreKind) String() string {
+	if int(k) < len(coreKindNames) {
+		return coreKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseCoreKind resolves a name printed by String.
+func ParseCoreKind(s string) (CoreKind, error) {
+	for i, n := range coreKindNames {
+		if n == s {
+			return CoreKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown core kind %q", s)
+}
+
+// Config describes a system to simulate.
+type Config struct {
+	Kind           CoreKind
+	Cores          int
+	ThreadsPerCore int
+
+	// Workload and its per-thread size. Every thread of every core runs
+	// the same kernel on private data (the paper's setup) unless
+	// WorkloadMix is set.
+	Workload *workloads.Spec
+	Iters    int
+	Seed     uint64
+
+	// WorkloadMix, when non-empty, assigns kernels to hardware threads
+	// round-robin (thread t runs WorkloadMix[t % len]), modeling a
+	// near-memory processor servicing offloads from different host
+	// applications concurrently. Workload is still used for ViReC
+	// context sizing and oracle sets; it defaults to WorkloadMix[0].
+	WorkloadMix []*workloads.Spec
+
+	// ViReC sizing: either PhysRegs directly, or ContextPct as a percent
+	// of the aggregate active context (the paper's 40-100% sweep).
+	PhysRegs   int
+	ContextPct int
+	Policy     vrmu.Policy
+	ViReCOpts  regfile.ViReCConfig // ablations; PhysRegs/Policy overridden
+
+	// Pipeline overrides (zero = Table 1 defaults).
+	Pipeline cpu.Config
+
+	// DCache geometry (zero = Table 1: 8 KB, 4-way, 2-cycle, 24 MSHRs).
+	DCacheBytes      int
+	DCacheHitLatency int
+	DCacheMSHRs      int
+	PinningDisabled  bool
+
+	// NoICache replaces the 32 KB instruction cache (Table 1) with a
+	// fixed-latency fetch pipe; the kernels fit the icache after warmup,
+	// so this mainly removes cold-start fetch misses.
+	NoICache bool
+
+	// Memory system. FixedMemLatency > 0 replaces the DRAM model with a
+	// constant-latency device (latency-sweep experiments).
+	DRAM            dram.Config
+	Xbar            xbar.Config
+	FixedMemLatency int
+
+	// ValidateValues enables the golden-model cross-check (slows the run
+	// slightly; tests keep it on, large sweeps may disable).
+	ValidateValues bool
+
+	MaxCycles uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Cores == 0 {
+		out.Cores = 1
+	}
+	if out.ThreadsPerCore == 0 {
+		out.ThreadsPerCore = 8
+	}
+	if out.Iters == 0 {
+		out.Iters = 256
+	}
+	if out.DCacheBytes == 0 {
+		out.DCacheBytes = 8 * 1024
+	}
+	if out.DCacheHitLatency == 0 {
+		out.DCacheHitLatency = 2
+	}
+	if out.DCacheMSHRs == 0 {
+		out.DCacheMSHRs = 24
+	}
+	if out.MaxCycles == 0 {
+		out.MaxCycles = 500_000_000
+	}
+	if out.Seed == 0 {
+		out.Seed = 0x9e3779b97f4a7c15
+	}
+	return out
+}
+
+// PhysRegsFor resolves the physical register count for a ViReC core:
+// explicit PhysRegs wins; otherwise ContextPct of the workload's active
+// context per thread, times the thread count (minimum 8).
+func (c *Config) PhysRegsFor() int {
+	if c.PhysRegs > 0 {
+		return c.PhysRegs
+	}
+	pct := c.ContextPct
+	if pct == 0 {
+		pct = 100
+	}
+	active := len(c.Workload.ActiveRegs())
+	per := (active*pct + 99) / 100
+	if per < 1 {
+		per = 1
+	}
+	n := per * c.ThreadsPerCore
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// System is a composed simulation ready to run.
+type System struct {
+	cfg     Config
+	Memory  *mem.Memory
+	Cores   []*cpu.Core
+	DCaches []*cache.Cache
+	ICaches []*cache.Cache
+	Xbar    *xbar.Xbar
+	DRAM    *dram.DRAM
+	fixed   *mem.DelayDevice
+	layouts []cpu.RegLayout
+	oracles []*regfile.ViReC // Belady-policy providers awaiting sequences
+
+	verifies [][]workloads.Verify
+}
+
+// Address-space layout: reserved register regions first, then per-thread
+// data slabs, all separated by odd line offsets to avoid pathological
+// set aliasing between threads.
+const (
+	regRegionBase = mem.Addr(0x4000_0000)
+	progBase      = mem.Addr(0x8000_0000)
+	dataBase      = mem.Addr(0x0010_0000)
+	slabSkew      = 0x2c0
+)
+
+// New builds a system. The workload must be set.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workload == nil && len(cfg.WorkloadMix) > 0 {
+		cfg.Workload = cfg.WorkloadMix[0]
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("sim: config needs a workload")
+	}
+	if cfg.Kind == Banked && cfg.ThreadsPerCore > 8 {
+		return nil, fmt.Errorf("sim: banked core supports at most 8 threads (Table 1), got %d", cfg.ThreadsPerCore)
+	}
+
+	s := &System{cfg: cfg, Memory: mem.NewMemory()}
+
+	// Memory side: either the DRAM model behind the crossbar, or a fixed
+	// latency device for controlled sweeps.
+	var below mem.Device
+	if cfg.FixedMemLatency > 0 {
+		s.fixed = mem.NewDelayDevice(uint64(cfg.FixedMemLatency))
+		below = s.fixed
+	} else {
+		s.DRAM = dram.New(cfg.DRAM)
+		below = s.DRAM
+	}
+	s.Xbar = xbar.New(cfg.Xbar, below)
+
+	pipeCfg := cfg.Pipeline
+	pipeCfg.Threads = cfg.ThreadsPerCore
+	pipeCfg.ValidateValues = cfg.ValidateValues
+
+	for coreID := 0; coreID < cfg.Cores; coreID++ {
+		layout := cpu.RegLayout{
+			Base: regRegionBase + mem.Addr(coreID)*mem.Addr(cfg.ThreadsPerCore*cpu.ThreadStride+4096),
+		}
+		s.layouts = append(s.layouts, layout)
+
+		ccfg := cache.Config{
+			Name:            fmt.Sprintf("dcache%d", coreID),
+			SizeBytes:       cfg.DCacheBytes,
+			Assoc:           4,
+			HitLatency:      cfg.DCacheHitLatency,
+			MSHRs:           cfg.DCacheMSHRs,
+			Ports:           1,
+			PinningDisabled: cfg.PinningDisabled,
+		}
+		if cfg.Kind == ViReC {
+			ccfg.RegRegionBase = layout.Base
+			ccfg.RegRegionSize = layout.Size(cfg.ThreadsPerCore)
+		}
+		dc := cache.New(ccfg, s.Xbar)
+		s.DCaches = append(s.DCaches, dc)
+
+		var ic *cache.Cache
+		if !cfg.NoICache {
+			ic = cache.New(cache.Config{
+				Name:       fmt.Sprintf("icache%d", coreID),
+				SizeBytes:  32 * 1024,
+				Assoc:      4,
+				HitLatency: 2,
+				MSHRs:      4,
+				Ports:      1,
+			}, s.Xbar)
+			s.ICaches = append(s.ICaches, ic)
+		}
+
+		var provider cpu.Provider
+		switch cfg.Kind {
+		case Banked:
+			provider = regfile.NewBanked(cfg.ThreadsPerCore, dc, s.Memory, layout)
+		case ViReC:
+			vc := cfg.ViReCOpts
+			vc.PhysRegs = cfg.PhysRegsFor()
+			vc.Policy = cfg.Policy
+			v := regfile.NewViReC(vc, cfg.ThreadsPerCore, dc, s.Memory, layout)
+			if vc.PrefetchNext {
+				for th := 0; th < cfg.ThreadsPerCore; th++ {
+					spec := cfg.Workload
+					if len(cfg.WorkloadMix) > 0 {
+						spec = cfg.WorkloadMix[th%len(cfg.WorkloadMix)]
+					}
+					v.SetPrefetchRegs(th, spec.ActiveRegs())
+				}
+			}
+			if vc.Policy == vrmu.Belady {
+				s.oracles = append(s.oracles, v)
+			}
+			provider = v
+		case Software:
+			provider = regfile.NewSoftware(cfg.ThreadsPerCore, dc, s.Memory, layout)
+		case PrefetchFull:
+			provider = regfile.NewPrefetch(regfile.PrefetchFull, cfg.ThreadsPerCore, dc, s.Memory, layout)
+		case PrefetchExact:
+			pf := regfile.NewPrefetch(regfile.PrefetchExact, cfg.ThreadsPerCore, dc, s.Memory, layout)
+			for th := 0; th < cfg.ThreadsPerCore; th++ {
+				pf.SetUsedRegs(th, cfg.Workload.ActiveRegs())
+			}
+			provider = pf
+		default:
+			return nil, fmt.Errorf("sim: unknown core kind %d", cfg.Kind)
+		}
+
+		core := cpu.New(pipeCfg, provider, dc, s.Memory)
+		if ic != nil {
+			core.SetICache(ic)
+			base := progBase + mem.Addr(coreID)*0x10_0000
+			for th := 0; th < cfg.ThreadsPerCore; th++ {
+				// Threads running the same kernel share icache lines;
+				// a mix gives each kernel its own program addresses.
+				slot := 0
+				if len(cfg.WorkloadMix) > 0 {
+					slot = th % len(cfg.WorkloadMix)
+				}
+				core.Thread(th).ProgBase = base + mem.Addr(slot)*0x1000
+			}
+		}
+		s.Cores = append(s.Cores, core)
+	}
+
+	s.offload()
+	s.recordOracles()
+	return s, nil
+}
+
+// recordOracles runs each thread functionally on a memory clone and
+// installs its register access sequence into Belady-policy providers.
+func (s *System) recordOracles() {
+	if len(s.oracles) == 0 {
+		return
+	}
+	for coreID, v := range s.oracles {
+		layout := s.layouts[coreID]
+		for th := 0; th < s.cfg.ThreadsPerCore; th++ {
+			var ctx interp.Context
+			for r := isa.Reg(0); r < isa.NumRegs; r++ {
+				ctx.Set(r, s.Memory.Read64(layout.RegAddr(th, r)))
+			}
+			var seq []isa.Reg
+			var buf [6]isa.Reg
+			interp.Run(s.specFor(th).Prog, &ctx, s.Memory.Clone(), 100_000_000,
+				func(e interp.TraceEntry) {
+					for _, r := range e.Inst.Regs(buf[:0]) {
+						if r != isa.XZR {
+							seq = append(seq, r)
+						}
+					}
+				})
+			v.SetOracleSeq(th, seq)
+		}
+	}
+}
+
+// specFor returns the kernel hardware thread th runs.
+func (s *System) specFor(th int) *workloads.Spec {
+	if len(s.cfg.WorkloadMix) > 0 {
+		return s.cfg.WorkloadMix[th%len(s.cfg.WorkloadMix)]
+	}
+	return s.cfg.Workload
+}
+
+// maxSlabBytes returns the largest per-thread data footprint in play.
+func (s *System) maxSlabBytes() uint64 {
+	max := s.cfg.Workload.SlabBytes
+	for _, w := range s.cfg.WorkloadMix {
+		if w.SlabBytes > max {
+			max = w.SlabBytes
+		}
+	}
+	return max
+}
+
+// offload writes each thread's program context: data slab initialization,
+// initial registers into the reserved region (the offload payload), and
+// the golden shadow for validation.
+func (s *System) offload() {
+	cfg := s.cfg
+	s.verifies = make([][]workloads.Verify, cfg.Cores)
+	slab := s.maxSlabBytes() + slabSkew
+	for coreID, core := range s.Cores {
+		s.verifies[coreID] = make([]workloads.Verify, cfg.ThreadsPerCore)
+		for th := 0; th < cfg.ThreadsPerCore; th++ {
+			spec := s.specFor(th)
+			global := coreID*cfg.ThreadsPerCore + th
+			base := dataBase + mem.Addr(uint64(global)*slab)
+			p := workloads.Params{Iters: cfg.Iters, Seed: cfg.Seed, ThreadID: global}
+			thread := core.Thread(th)
+			thread.Prog = spec.Prog
+			layout := s.layouts[coreID]
+			tid := th
+			s.verifies[coreID][th] = spec.Setup(s.Memory, base, p,
+				func(r isa.Reg, v uint64) {
+					s.Memory.Write64(layout.RegAddr(tid, r), v)
+					thread.SetShadow(r, v)
+				})
+		}
+		core.Start()
+	}
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	Cycles      uint64
+	Insts       uint64
+	IPC         float64 // aggregate instructions per system cycle
+	CoreStats   []cpu.Stats
+	CacheStats  []cache.Stats
+	ICacheStats []cache.Stats
+	DRAMStats   *dram.Stats
+	// TagStats is present for ViReC systems (register hit rates).
+	TagStats []vrmu.Stats
+}
+
+// Run simulates until every core finishes (or MaxCycles elapse) and
+// verifies every thread's final state against the workload golden model.
+func (s *System) Run() (*Result, error) {
+	cfg := s.cfg
+	var cycle uint64
+	for ; cycle < cfg.MaxCycles; cycle++ {
+		done := true
+		for _, c := range s.Cores {
+			c.Tick(cycle)
+			if !c.Done() {
+				done = false
+			}
+		}
+		for _, dc := range s.DCaches {
+			dc.Tick(cycle)
+		}
+		for _, ic := range s.ICaches {
+			ic.Tick(cycle)
+		}
+		s.Xbar.Tick(cycle)
+		if s.DRAM != nil {
+			s.DRAM.Tick(cycle)
+		} else {
+			s.fixed.Tick(cycle)
+		}
+		if done {
+			break
+		}
+	}
+	if cycle >= cfg.MaxCycles {
+		return nil, fmt.Errorf("sim: %s/%s did not finish within %d cycles",
+			cfg.Kind, cfg.Workload.Name, cfg.MaxCycles)
+	}
+
+	res := &Result{Cycles: cycle + 1}
+	for coreID, c := range s.Cores {
+		res.CoreStats = append(res.CoreStats, c.Stats)
+		res.Insts += c.Stats.Insts
+		res.CacheStats = append(res.CacheStats, s.DCaches[coreID].Stats)
+		if coreID < len(s.ICaches) {
+			res.ICacheStats = append(res.ICacheStats, s.ICaches[coreID].Stats)
+		}
+		if msg := s.DCaches[coreID].CheckInvariants(); msg != "" {
+			return nil, fmt.Errorf("sim: dcache%d invariant violated: %s", coreID, msg)
+		}
+		if v, ok := c.Provider().(*regfile.ViReC); ok {
+			res.TagStats = append(res.TagStats, v.Tags().Stats)
+			if msg := v.Tags().CheckInvariants(); msg != "" {
+				return nil, fmt.Errorf("sim: core%d tag store invariant violated: %s", coreID, msg)
+			}
+		}
+		for th := 0; th < cfg.ThreadsPerCore; th++ {
+			if err := s.verifies[coreID][th](c.Thread(th).Shadow, s.Memory); err != nil {
+				return nil, fmt.Errorf("sim: core %d thread %d (%s): %w",
+					coreID, th, s.specFor(th).Name, err)
+			}
+		}
+	}
+	if s.DRAM != nil {
+		st := s.DRAM.Stats
+		res.DRAMStats = &st
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Insts) / float64(res.Cycles)
+	}
+	return res, nil
+}
+
+// Simulate is the one-call convenience: build and run.
+func Simulate(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

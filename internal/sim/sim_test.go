@@ -1,0 +1,286 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
+)
+
+func gather(t *testing.T) *workloads.Spec {
+	t.Helper()
+	w, ok := workloads.ByName("gather")
+	if !ok {
+		t.Fatal("gather missing")
+	}
+	return w
+}
+
+func TestSimulateAllKindsAllWorkloads(t *testing.T) {
+	kinds := []sim.CoreKind{sim.Banked, sim.ViReC, sim.Software, sim.PrefetchFull, sim.PrefetchExact}
+	for _, w := range workloads.All() {
+		for _, kind := range kinds {
+			t.Run(w.Name+"/"+kind.String(), func(t *testing.T) {
+				res, err := sim.Simulate(sim.Config{
+					Kind:           kind,
+					ThreadsPerCore: 4,
+					Workload:       w,
+					Iters:          64,
+					ContextPct:     100,
+					Policy:         vrmu.LRC,
+					ValidateValues: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Insts == 0 || res.Cycles == 0 {
+					t.Errorf("empty result %+v", res)
+				}
+			})
+		}
+	}
+}
+
+func TestMultiCoreSystem(t *testing.T) {
+	res, err := sim.Simulate(sim.Config{
+		Kind:           sim.ViReC,
+		Cores:          4,
+		ThreadsPerCore: 4,
+		Workload:       gather(t),
+		Iters:          64,
+		ContextPct:     80,
+		Policy:         vrmu.LRC,
+		ValidateValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CoreStats) != 4 || len(res.CacheStats) != 4 || len(res.TagStats) != 4 {
+		t.Errorf("per-core stats incomplete: %d/%d/%d",
+			len(res.CoreStats), len(res.CacheStats), len(res.TagStats))
+	}
+	if res.DRAMStats == nil || res.DRAMStats.Reads == 0 {
+		t.Error("DRAM stats missing")
+	}
+}
+
+func TestSystemLoadRaisesLatency(t *testing.T) {
+	run := func(cores int) float64 {
+		res, err := sim.Simulate(sim.Config{
+			Kind:           sim.ViReC,
+			Cores:          cores,
+			ThreadsPerCore: 8,
+			Workload:       gather(t),
+			Iters:          128,
+			ContextPct:     100,
+			Policy:         vrmu.LRC,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.DRAMStats.AvgReadLatency()
+	}
+	lat1 := run(1)
+	lat8 := run(8)
+	if lat8 <= lat1 {
+		t.Errorf("8-core avg DRAM latency %.1f not above 1-core %.1f (Figure 11 premise)", lat8, lat1)
+	}
+}
+
+func TestContextPctSizing(t *testing.T) {
+	w := gather(t)
+	active := len(w.ActiveRegs())
+	cfg := sim.Config{Workload: w, ThreadsPerCore: 8, ContextPct: 100}
+	if got := cfg.PhysRegsFor(); got != active*8 {
+		t.Errorf("100%% of %d regs x 8 threads = %d, want %d", active, got, active*8)
+	}
+	cfg.ContextPct = 50
+	want := (active + 1) / 2 * 8
+	if got := cfg.PhysRegsFor(); got != want {
+		t.Errorf("50%% sizing = %d, want %d", got, want)
+	}
+	cfg.PhysRegs = 13
+	if got := cfg.PhysRegsFor(); got != 13 {
+		t.Errorf("explicit PhysRegs ignored: %d", got)
+	}
+}
+
+func TestBankedThreadLimit(t *testing.T) {
+	_, err := sim.New(sim.Config{
+		Kind:           sim.Banked,
+		ThreadsPerCore: 10,
+		Workload:       gather(t),
+	})
+	if err == nil {
+		t.Error("banked with 10 threads must be rejected (8 banks in Table 1)")
+	}
+}
+
+func TestViReCUnboundedThreads(t *testing.T) {
+	// The paper's point: ViReC thread counts are not limited by register
+	// storage. 10 threads on a small RF must work.
+	res, err := sim.Simulate(sim.Config{
+		Kind:           sim.ViReC,
+		ThreadsPerCore: 10,
+		Workload:       gather(t),
+		Iters:          48,
+		ContextPct:     40,
+		Policy:         vrmu.LRC,
+		ValidateValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts == 0 {
+		t.Error("no instructions committed")
+	}
+}
+
+func TestFixedMemLatencyMode(t *testing.T) {
+	res, err := sim.Simulate(sim.Config{
+		Kind:            sim.Banked,
+		ThreadsPerCore:  4,
+		Workload:        gather(t),
+		Iters:           64,
+		FixedMemLatency: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMStats != nil {
+		t.Error("fixed-latency run must not report DRAM stats")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for _, k := range []sim.CoreKind{sim.Banked, sim.ViReC, sim.Software, sim.PrefetchFull, sim.PrefetchExact} {
+		got, err := sim.ParseCoreKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v failed: %v %v", k, got, err)
+		}
+	}
+	if _, err := sim.ParseCoreKind("bogus"); err == nil {
+		t.Error("bogus kind must fail")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	run := func() uint64 {
+		res, err := sim.Simulate(sim.Config{
+			Kind:           sim.ViReC,
+			ThreadsPerCore: 6,
+			Workload:       gather(t),
+			Iters:          64,
+			ContextPct:     60,
+			Policy:         vrmu.LRC,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestMissingWorkloadRejected(t *testing.T) {
+	if _, err := sim.New(sim.Config{Kind: sim.Banked}); err == nil {
+		t.Error("config without workload must be rejected")
+	}
+}
+
+func TestBeladyOraclePolicy(t *testing.T) {
+	// The oracle policy must run correctly end to end and perform at
+	// least as well as PLRU under contention.
+	run := func(pol vrmu.Policy) uint64 {
+		res, err := sim.Simulate(sim.Config{
+			Kind: sim.ViReC, ThreadsPerCore: 8,
+			Workload: gather(t), Iters: 96,
+			ContextPct: 60, Policy: pol,
+			ValidateValues: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	plru := run(vrmu.PLRU)
+	oracle := run(vrmu.Belady)
+	if oracle > plru {
+		t.Errorf("Belady oracle (%d cycles) slower than PLRU (%d)", oracle, plru)
+	}
+}
+
+func TestICacheDefaultOnAndWarm(t *testing.T) {
+	res, err := sim.Simulate(sim.Config{
+		Kind: sim.Banked, ThreadsPerCore: 4,
+		Workload: gather(t), Iters: 64,
+		ValidateValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ICacheStats) != 1 {
+		t.Fatalf("icache stats missing: %d", len(res.ICacheStats))
+	}
+	st := res.ICacheStats[0]
+	if st.Hits == 0 {
+		t.Error("icache never hit")
+	}
+	// The kernel loop fits trivially: after warmup everything hits.
+	if hr := st.HitRate(); hr < 0.99 {
+		t.Errorf("icache hit rate %.3f, want ~1 for a tiny loop", hr)
+	}
+}
+
+func TestNoICacheMode(t *testing.T) {
+	res, err := sim.Simulate(sim.Config{
+		Kind: sim.Banked, ThreadsPerCore: 4,
+		Workload: gather(t), Iters: 64,
+		NoICache:       true,
+		ValidateValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ICacheStats) != 0 {
+		t.Error("NoICache run must not report icache stats")
+	}
+}
+
+func TestWorkloadMix(t *testing.T) {
+	g, _ := workloads.ByName("gather")
+	red, _ := workloads.ByName("reduction")
+	fp, _ := workloads.ByName("fpdot")
+	res, err := sim.Simulate(sim.Config{
+		Kind: sim.ViReC, ThreadsPerCore: 6,
+		WorkloadMix: []*workloads.Spec{g, red, fp},
+		Iters:       48,
+		ContextPct:  80, Policy: vrmu.LRC,
+		ValidateValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts == 0 {
+		t.Error("mix committed nothing")
+	}
+}
+
+func TestWorkloadMixBelady(t *testing.T) {
+	// Per-thread oracle sequences must match each thread's own kernel.
+	g, _ := workloads.ByName("gather")
+	h, _ := workloads.ByName("histogram")
+	_, err := sim.Simulate(sim.Config{
+		Kind: sim.ViReC, ThreadsPerCore: 4,
+		WorkloadMix: []*workloads.Spec{g, h},
+		Iters:       32,
+		ContextPct:  60, Policy: vrmu.Belady,
+		ValidateValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

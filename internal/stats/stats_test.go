@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{5}); g != 5 {
+		t.Errorf("GeoMean(5) = %v, want 5", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) must be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("GeoMean with zero must be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Error("GeoMean with negative must be NaN")
+	}
+}
+
+// Property: geomean lies between min and max of positive inputs.
+func TestGeoMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%10000) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := GeoMean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndSpeedup(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) must be NaN")
+	}
+	if s := Speedup(2, 3); s != 1.5 {
+		t.Errorf("Speedup = %v", s)
+	}
+	if !math.IsNaN(Speedup(0, 1)) {
+		t.Error("Speedup with zero baseline must be NaN")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if p := Percent(1.207); p != "+20.7%" {
+		t.Errorf("Percent(1.207) = %q", p)
+	}
+	if p := Percent(0.95); p != "-5.0%" {
+		t.Errorf("Percent(0.95) = %q", p)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "ipc", "area")
+	tb.AddRow("banked", 0.25, 2.8)
+	tb.AddRow("virec", 0.2401, 1.7)
+	out := tb.String()
+	if !strings.Contains(out, "banked") || !strings.Contains(out, "0.2401") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	// Columns align: header and first row start identically wide.
+	if len(lines[0]) == 0 || lines[1][0] != '-' {
+		t.Errorf("separator missing:\n%s", out)
+	}
+}
+
+func TestTableCSVAndAccessors(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("with,comma", "q\"q")
+	csv := tb.CSV()
+	want := "a,b\nx,1.5\n\"with,comma\",\"q\"\"q\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+	if h := tb.Header(); len(h) != 2 || h[0] != "a" {
+		t.Errorf("Header = %v", h)
+	}
+	rows := tb.Rows()
+	if len(rows) != 2 || rows[0][1] != "1.5" {
+		t.Errorf("Rows = %v", rows)
+	}
+	// Accessors return copies.
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] == "mutated" {
+		t.Error("Rows must return a copy")
+	}
+}

@@ -1,0 +1,97 @@
+package vrmu
+
+// RollbackEntry records the physical registers touched by one in-flight
+// instruction, plus whether that instruction is a memory operation (the
+// context switching logic needs the memory status of the oldest entry).
+type RollbackEntry struct {
+	Phys  []int
+	IsMem bool
+	Seq   uint64 // instruction sequence number, for matching on commit
+}
+
+// RollbackQueue is the FIFO of in-flight instructions' register indices.
+// Its depth equals the maximum number of instructions in the processor
+// backend. When a context switch flushes the pipeline, Flush compacts all
+// queued indices and resets their C bits in the tag store, so registers of
+// flushed (soon to be replayed) instructions are retained over committed
+// ones by the LRC policy.
+type RollbackQueue struct {
+	entries []RollbackEntry
+	depth   int
+	tags    *TagStore
+}
+
+// NewRollbackQueue builds a rollback queue of the given depth bound to the
+// tag store whose C bits it maintains.
+func NewRollbackQueue(depth int, tags *TagStore) *RollbackQueue {
+	if depth <= 0 {
+		depth = 1
+	}
+	return &RollbackQueue{depth: depth, tags: tags}
+}
+
+// Full reports whether the queue cannot accept another instruction; the
+// decode stage stalls while full (the backend is saturated).
+func (q *RollbackQueue) Full() bool { return len(q.entries) >= q.depth }
+
+// Len returns the number of in-flight instructions tracked.
+func (q *RollbackQueue) Len() int { return len(q.entries) }
+
+// Push records an instruction that passed decode. phys is copied.
+func (q *RollbackQueue) Push(seq uint64, phys []int, isMem bool) {
+	cp := make([]int, len(phys))
+	copy(cp, phys)
+	q.entries = append(q.entries, RollbackEntry{Phys: cp, IsMem: isMem, Seq: seq})
+}
+
+// Commit removes the oldest entry; the commit stage signals it when an
+// instruction completes. Committing out of order is a programming error
+// and panics (the core is in-order).
+func (q *RollbackQueue) Commit(seq uint64) {
+	if len(q.entries) == 0 {
+		return
+	}
+	if q.entries[0].Seq != seq {
+		panic("vrmu: out-of-order commit against rollback queue")
+	}
+	q.entries = q.entries[1:]
+}
+
+// OldestIsMem reports whether the oldest in-flight instruction is a memory
+// operation. The CSL uses it to delay context switches until long-running
+// non-memory instructions ahead of the missing load have drained.
+func (q *RollbackQueue) OldestIsMem() (bool, bool) {
+	if len(q.entries) == 0 {
+		return false, false
+	}
+	return q.entries[0].IsMem, true
+}
+
+// Drop empties the queue without resetting any C bits (the NoRollback
+// ablation: the hardware cost of the queue is removed and commit bits go
+// stale on flushes).
+func (q *RollbackQueue) Drop() {
+	q.entries = q.entries[:0]
+}
+
+// Flush compacts every queued register index into one set, resets the
+// corresponding C bits in the tag store, and empties the queue. It returns
+// the number of distinct physical registers rolled back.
+func (q *RollbackQueue) Flush() int {
+	if len(q.entries) == 0 {
+		return 0
+	}
+	seen := make(map[int]bool)
+	var phys []int
+	for _, e := range q.entries {
+		for _, p := range e.Phys {
+			if !seen[p] {
+				seen[p] = true
+				phys = append(phys, p)
+			}
+		}
+	}
+	q.tags.ResetC(phys)
+	q.entries = q.entries[:0]
+	return len(phys)
+}

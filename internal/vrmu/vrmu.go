@@ -1,0 +1,497 @@
+// Package vrmu implements the Virtual Register Management Unit — the core
+// contribution of the ViReC paper. The VRMU sits in the decode stage and
+// maps (thread, architectural register) pairs onto a small physical
+// register file used as a cache. It consists of:
+//
+//   - the tag store: a CAM holding one entry per physical register with
+//     Thread-recency (T, 3 bits), Commit (C, 1 bit) and Age (A, 3 bits)
+//     replacement-policy state;
+//   - the replacement policies of Section 4: PLRU, perfect LRU, MRT-PLRU,
+//     MRT-LRU and the paper's Least Recently Committed (LRC) policy;
+//   - the rollback queue: a FIFO as deep as the processor backend that
+//     records the registers of in-flight instructions so their C bits can
+//     be reset when a context switch flushes the pipeline.
+//
+// Eviction selects the entry with the highest retention priority formed by
+// concatenating T (most significant), then C, then A — so registers of the
+// most recently suspended thread go first, committed registers go before
+// in-flight ones within a thread, and older registers go before younger.
+package vrmu
+
+import (
+	"fmt"
+
+	"github.com/virec/virec/internal/isa"
+)
+
+// Policy selects the replacement policy used by the tag store.
+type Policy uint8
+
+// Replacement policies evaluated in Figure 12.
+const (
+	// PLRU uses only the 3-bit age field, as the NSF [41] and GPU register
+	// caches do. It is oblivious to thread scheduling.
+	PLRU Policy = iota
+	// LRU is a perfect least-recently-used policy over exact timestamps,
+	// still oblivious to thread scheduling.
+	LRU
+	// MRTPLRU concatenates thread-recency bits with the pseudo-LRU age:
+	// registers of the most recently suspended thread are evicted first.
+	MRTPLRU
+	// MRTLRU is MRT with perfect LRU inside each thread (needs perfect
+	// recency information; an upper bound for age-based policies).
+	MRTLRU
+	// LRC is the paper's Least Recently Committed policy: MRT-PLRU plus a
+	// commit bit that protects registers of flushed (to-be-replayed)
+	// instructions over committed ones.
+	LRC
+	// Belady is an oracle upper bound in the spirit of Belady's MIN [12],
+	// which Section 4 positions as the target LRC approximates: thread
+	// recency orders threads by how soon they run again, and perfect
+	// future knowledge of each thread's register access sequence orders
+	// evictions within a thread. It requires an oracle feed (SetOracle)
+	// and is not part of AllPolicies.
+	Belady
+)
+
+var policyNames = [...]string{"PLRU", "LRU", "MRT-PLRU", "MRT-LRU", "LRC", "Belady"}
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy converts a name (as printed by String) back to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for i, n := range policyNames {
+		if n == s {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("vrmu: unknown policy %q", s)
+}
+
+// AllPolicies lists every policy, in Figure-12 order.
+func AllPolicies() []Policy { return []Policy{PLRU, LRU, MRTPLRU, MRTLRU, LRC} }
+
+const (
+	maxT   = 7 // 3-bit thread recency
+	maxAge = 7 // 3-bit pseudo-LRU age
+)
+
+// Entry is one tag-store entry describing a physical register.
+type Entry struct {
+	Valid  bool
+	Thread int
+	Reg    isa.Reg
+
+	T uint8 // thread recency: 0 = current thread, grows with suspension recency
+	C bool  // commit bit: true once a using instruction commits
+	A uint8 // pseudo-LRU age: 0 = just used
+
+	Value uint64 // cached register value
+	Dirty bool   // value differs from the backing store
+	Dummy bool   // allocated via the dummy-destination optimization; the
+	// value is a placeholder and must not be spilled
+
+	lastUse uint64 // perfect-LRU timestamp
+}
+
+// Victim describes an evicted entry so the BSI can spill it. A Dummy
+// victim carries a placeholder value that must not reach the backing
+// store (the architecturally-live value is still there).
+type Victim struct {
+	Thread int
+	Reg    isa.Reg
+	Value  uint64
+	Dirty  bool
+	Dummy  bool
+}
+
+// Stats accumulates tag-store statistics.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	DirtyEvict uint64
+	CResets    uint64 // C bits reset by the rollback queue
+}
+
+// HitRate returns hits/(hits+misses).
+func (s *Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+type key struct {
+	thread int
+	reg    isa.Reg
+}
+
+// TagStore is the CAM mapping architectural registers of all threads onto
+// the physical register file.
+type TagStore struct {
+	entries []Entry
+	index   map[key]int
+	policy  Policy
+	clock   uint64
+	current int // currently running thread
+	oracle  func(thread int, reg isa.Reg) uint64
+
+	// Stats is exported read-only for reporting.
+	Stats Stats
+}
+
+// NewTagStore builds a tag store for numPhys physical registers.
+func NewTagStore(numPhys int, policy Policy) *TagStore {
+	if numPhys <= 0 {
+		panic("vrmu: tag store needs at least one physical register")
+	}
+	return &TagStore{
+		entries: make([]Entry, numPhys),
+		index:   make(map[key]int, numPhys),
+		policy:  policy,
+	}
+}
+
+// Size returns the number of physical registers.
+func (t *TagStore) Size() int { return len(t.entries) }
+
+// Policy returns the replacement policy in use.
+func (t *TagStore) Policy() Policy { return t.policy }
+
+// SetOracle installs the future-distance feed the Belady policy consults:
+// fn returns how many of the thread's future register accesses occur
+// before (thread, reg) is used again (larger = further in the future).
+func (t *TagStore) SetOracle(fn func(thread int, reg isa.Reg) uint64) {
+	t.oracle = fn
+}
+
+// Entry returns a copy of the tag-store entry at physical index i.
+func (t *TagStore) Entry(i int) Entry { return t.entries[i] }
+
+// Lookup finds the physical index for (thread, reg). It does not update
+// replacement state or hit/miss statistics: the provider counts one
+// access per operand via CountAccess, while Lookup is also used for
+// internal bookkeeping.
+func (t *TagStore) Lookup(thread int, reg isa.Reg) (int, bool) {
+	i, ok := t.index[key{thread, reg}]
+	return i, ok
+}
+
+// CountAccess records one architectural register access as a hit or miss
+// (Figure 12's hit-rate metric: one count per operand per instruction).
+func (t *TagStore) CountAccess(hit bool) {
+	if hit {
+		t.Stats.Hits++
+	} else {
+		t.Stats.Misses++
+	}
+}
+
+// Contains reports presence without counting a hit or miss (used by
+// oracle components and tests).
+func (t *TagStore) Contains(thread int, reg isa.Reg) bool {
+	_, ok := t.index[key{thread, reg}]
+	return ok
+}
+
+// agingEpoch is the number of register accesses between global age
+// increments. Hardware pseudo-LRU ages entries on a periodic tick rather
+// than on every access; a coarse epoch preserves the cross-thread recency
+// ordering that makes the (pathological) PLRU behaviour of Figure 5
+// observable, while ages still saturate and fuzz within a thread — the
+// motivation for the LRC commit bit (Figure 6).
+const agingEpoch = 4
+
+// Touch records an access to physical register phys: its age resets and
+// the C bit is speculatively set (the rollback queue clears it again if
+// the using instruction is flushed). Every agingEpoch touches, all other
+// valid entries age by one (3-bit saturating).
+func (t *TagStore) Touch(phys int) {
+	t.clock++
+	tick := t.clock%agingEpoch == 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.Valid {
+			continue
+		}
+		if i == phys {
+			e.A = 0
+			e.C = true
+			e.lastUse = t.clock
+		} else if tick && e.A < maxAge {
+			e.A++
+		}
+	}
+}
+
+// retention returns the eviction priority of entry i under the active
+// policy; the highest value is evicted first. Invalid entries always win.
+func (t *TagStore) retention(i int, oldestRank map[int]uint64) uint64 {
+	e := &t.entries[i]
+	if !e.Valid {
+		return ^uint64(0)
+	}
+	cBit := uint64(0)
+	if e.C {
+		cBit = 1
+	}
+	switch t.policy {
+	case PLRU:
+		return uint64(e.A)
+	case LRU:
+		return oldestRank[i] // older => higher rank
+	case MRTPLRU:
+		return uint64(e.T)<<3 | uint64(e.A)
+	case MRTLRU:
+		return uint64(e.T)<<32 | oldestRank[i]
+	case LRC:
+		return uint64(e.T)<<4 | cBit<<3 | uint64(e.A)
+	case Belady:
+		var dist uint64
+		if t.oracle != nil {
+			dist = t.oracle(e.Thread, e.Reg)
+			if dist > 0xffffffff {
+				dist = 0xffffffff
+			}
+		}
+		return uint64(e.T)<<32 | dist
+	}
+	return uint64(e.A)
+}
+
+// lruRanks maps physical index -> rank where the least recently used valid
+// entry has the highest rank. Only built for perfect-LRU policies.
+func (t *TagStore) lruRanks() map[int]uint64 {
+	if t.policy != LRU && t.policy != MRTLRU {
+		return nil
+	}
+	ranks := make(map[int]uint64, len(t.entries))
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			// Smaller lastUse (older) => larger rank.
+			ranks[i] = ^t.entries[i].lastUse & 0xffffffff
+		}
+	}
+	return ranks
+}
+
+// SelectVictim returns the physical index to evict, skipping any index in
+// locked (the registers of the instruction currently decoding must not be
+// displaced by its own fills). It returns -1 if every entry is locked.
+// Ties in the policy bits are broken toward the least recently used entry
+// — the arbitrary-but-reasonable hardware tie-break — so policy
+// comparisons isolate the T/C/A bits themselves.
+func (t *TagStore) SelectVictim(locked map[int]bool) int {
+	ranks := t.lruRanks()
+	best := -1
+	var bestPri uint64
+	var bestUse uint64
+	for i := range t.entries {
+		if locked[i] {
+			continue
+		}
+		pri := t.retention(i, ranks)
+		use := t.entries[i].lastUse
+		if best < 0 || pri > bestPri || (pri == bestPri && use < bestUse) {
+			best, bestPri, bestUse = i, pri, use
+		}
+	}
+	return best
+}
+
+// Insert installs (thread, reg) into physical slot phys, evicting whatever
+// occupied it. The returned Victim is valid when a live entry was
+// displaced. The new entry starts clean with A=0, C set speculatively.
+func (t *TagStore) Insert(thread int, reg isa.Reg, phys int) (Victim, bool) {
+	e := &t.entries[phys]
+	var v Victim
+	evicted := false
+	if e.Valid {
+		v = Victim{Thread: e.Thread, Reg: e.Reg, Value: e.Value, Dirty: e.Dirty, Dummy: e.Dummy}
+		evicted = true
+		t.Stats.Evictions++
+		if e.Dirty {
+			t.Stats.DirtyEvict++
+		}
+		delete(t.index, key{e.Thread, e.Reg})
+	}
+	t.clock++
+	tBits := uint8(0)
+	if thread != t.current {
+		// A register inserted for a non-running thread (prefetch-style
+		// fills) starts with non-zero recency.
+		tBits = 1
+	}
+	*e = Entry{
+		Valid: true, Thread: thread, Reg: reg,
+		T: tBits, C: true, A: 0,
+		lastUse: t.clock,
+	}
+	t.index[key{thread, reg}] = phys
+	return v, evicted
+}
+
+// WriteValue updates the cached value of physical register phys and marks
+// it dirty (the backing store no longer matches).
+func (t *TagStore) WriteValue(phys int, v uint64) {
+	t.entries[phys].Value = v
+	t.entries[phys].Dirty = true
+	t.entries[phys].Dummy = false
+}
+
+// FillValue installs a value fetched from the backing store: the entry
+// stays clean.
+func (t *TagStore) FillValue(phys int, v uint64) {
+	t.entries[phys].Value = v
+	t.entries[phys].Dirty = false
+	t.entries[phys].Dummy = false
+}
+
+// FillDummy installs a placeholder for a destination-only register (the
+// dummy-value optimization): the entry is usable as a write target but its
+// value must never be spilled.
+func (t *TagStore) FillDummy(phys int) {
+	t.entries[phys].Value = 0
+	t.entries[phys].Dirty = false
+	t.entries[phys].Dummy = true
+}
+
+// ReadValue returns the cached value of physical register phys.
+func (t *TagStore) ReadValue(phys int) uint64 { return t.entries[phys].Value }
+
+// OnContextSwitch updates the T bits: registers of the suspended thread go
+// to the maximum recency, every other thread's registers decay by one, and
+// the new running thread's registers are forced to zero.
+func (t *TagStore) OnContextSwitch(suspended, next int) {
+	t.current = next
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.Valid {
+			continue
+		}
+		switch e.Thread {
+		case suspended:
+			e.T = maxT
+		case next:
+			e.T = 0
+		default:
+			if e.T > 0 {
+				e.T--
+			}
+		}
+	}
+}
+
+// SetCurrent sets the running thread without a switch (initial schedule).
+func (t *TagStore) SetCurrent(thread int) {
+	t.current = thread
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.Thread == thread {
+			e.T = 0
+		}
+	}
+}
+
+// Current returns the thread the tag store believes is running.
+func (t *TagStore) Current() int { return t.current }
+
+// ResetC clears the commit bits of the given physical registers; the
+// rollback queue calls this when a context switch flushes the pipeline.
+func (t *TagStore) ResetC(phys []int) {
+	for _, i := range phys {
+		if i >= 0 && i < len(t.entries) && t.entries[i].Valid {
+			if t.entries[i].C {
+				t.Stats.CResets++
+			}
+			t.entries[i].C = false
+		}
+	}
+}
+
+// Evict removes the entry at physical index phys without installing a
+// replacement, returning the victim for spilling. The slot becomes free.
+// Used by group-eviction policies that clear several slots at once.
+func (t *TagStore) Evict(phys int) (Victim, bool) {
+	e := &t.entries[phys]
+	if !e.Valid {
+		return Victim{}, false
+	}
+	v := Victim{Thread: e.Thread, Reg: e.Reg, Value: e.Value, Dirty: e.Dirty, Dummy: e.Dummy}
+	t.Stats.Evictions++
+	if e.Dirty {
+		t.Stats.DirtyEvict++
+	}
+	delete(t.index, key{e.Thread, e.Reg})
+	e.Valid = false
+	return v, true
+}
+
+// LineSiblings returns the physical indices of valid entries belonging to
+// the same thread whose architectural registers share reg's backing-store
+// cache line (eight registers per line). reg's own entry is excluded.
+func (t *TagStore) LineSiblings(thread int, reg isa.Reg) []int {
+	lineBase := reg &^ 7
+	var out []int
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.Thread == thread && e.Reg != reg && e.Reg&^7 == lineBase {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InvalidateThread drops every entry of a thread (used when a thread
+// halts; its registers need no spill because the context is dead).
+func (t *TagStore) InvalidateThread(thread int) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.Thread == thread {
+			delete(t.index, key{e.Thread, e.Reg})
+			e.Valid = false
+		}
+	}
+}
+
+// Occupancy returns the number of valid entries.
+func (t *TagStore) Occupancy() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants validates index/entry consistency; returns "" when OK.
+func (t *TagStore) CheckInvariants() string {
+	for k, i := range t.index {
+		e := &t.entries[i]
+		if !e.Valid || e.Thread != k.thread || e.Reg != k.reg {
+			return fmt.Sprintf("index %v -> %d mismatches entry %+v", k, i, *e)
+		}
+	}
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			n++
+			if t.entries[i].A > maxAge || t.entries[i].T > maxT {
+				return fmt.Sprintf("entry %d has out-of-range bits %+v", i, t.entries[i])
+			}
+		}
+	}
+	if n != len(t.index) {
+		return fmt.Sprintf("%d valid entries but %d index keys", n, len(t.index))
+	}
+	return ""
+}

@@ -1,0 +1,698 @@
+// Package workloads provides the memory-intensive benchmark kernels used
+// in the ViReC evaluation. The paper draws its workloads from four suites
+// used in prior near-data-processing studies: Spatter (gather/scatter
+// microkernels) [36], Arm meabo (mixed compute/memory phases) [7], the
+// CORAL-2 suite (lookup/stream kernels) [1], and PrIM (processing-in-
+// memory kernels) [28]. The binaries are proprietary-to-rebuild against a
+// custom ISA, so each kernel is re-written here in assembly with the same
+// access pattern and arithmetic intensity, plus a Go-side golden model so
+// every simulation is verified end to end.
+//
+// Every kernel follows one register convention: x1 holds the iteration
+// count, x2-x4 hold base pointers, x5 is the induction variable, and
+// higher registers hold accumulators and temporaries. Outer-loop-only
+// values are kept out of registers entirely (the paper's compiler
+// register-reduction, Section 4.2).
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+)
+
+// Params sizes one thread's run of a kernel.
+type Params struct {
+	Iters    int    // inner-loop trip count
+	Seed     uint64 // deterministic data seed
+	ThreadID int    // used to decorrelate per-thread data
+}
+
+// DefaultParams returns a medium-size configuration.
+func DefaultParams(thread int) Params {
+	return Params{Iters: 256, Seed: 0x9e3779b97f4a7c15, ThreadID: thread}
+}
+
+// Verify checks a thread's final architectural state against the golden
+// model. shadow reads a register's committed value; m is the functional
+// memory.
+type Verify func(shadow func(isa.Reg) uint64, m *mem.Memory) error
+
+// SetupFn initializes one thread's slab of memory and initial registers,
+// returning the verifier for its final state.
+type SetupFn func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify
+
+// Spec is one benchmark kernel.
+type Spec struct {
+	Name        string
+	Suite       string
+	Description string
+	Prog        *asm.Program
+	Setup       SetupFn
+
+	// SlabBytes is the per-thread data footprint the setup needs.
+	SlabBytes uint64
+}
+
+// ActiveRegs returns the registers used inside the kernel's loops — the
+// "active context" the paper sizes ViReC against (Figure 2) and the
+// oracle set for exact prefetching.
+func (s *Spec) ActiveRegs() []isa.Reg {
+	inner, _ := RegisterUsage(s.Prog)
+	return inner
+}
+
+// rng is a splitmix64 generator for deterministic data.
+type rng struct{ state uint64 }
+
+func newRng(p Params) *rng {
+	return &rng{state: p.Seed + uint64(p.ThreadID)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// expectReg builds a Verify for a single accumulator register.
+func expectReg(reg isa.Reg, want uint64) Verify {
+	return func(shadow func(isa.Reg) uint64, _ *mem.Memory) error {
+		if got := shadow(reg); got != want {
+			return fmt.Errorf("%s = %d, want %d", reg, got, want)
+		}
+		return nil
+	}
+}
+
+// expectMem builds a Verify over memory words.
+func expectMem(want map[mem.Addr]uint64) Verify {
+	return func(_ func(isa.Reg) uint64, m *mem.Memory) error {
+		for addr, v := range want {
+			if got := m.Read64(addr); got != v {
+				return fmt.Errorf("mem[%#x] = %d, want %d", addr, got, v)
+			}
+		}
+		return nil
+	}
+}
+
+func both(a, b Verify) Verify {
+	return func(shadow func(isa.Reg) uint64, m *mem.Memory) error {
+		if err := a(shadow, m); err != nil {
+			return err
+		}
+		return b(shadow, m)
+	}
+}
+
+// ---- Spatter suite ----
+
+const tableSize = 4096 // value-table entries for indirect kernels
+
+// gatherSpec: streaming indirect read — the paper's running example.
+var gatherSpec = &Spec{
+	Name:        "gather",
+	Suite:       "spatter",
+	Description: "sum += values[idx[i]] with a cache-defeating index stream",
+	SlabBytes:   4*8192 + 8*tableSize + 4096,
+	Prog: asm.MustAssemble("gather", `
+		mov x4, #0
+		mov x5, #0
+	loop:
+		ldrsw x6, [x2, x5, lsl #2]
+		ldr   x7, [x3, x6, lsl #3]
+		add   x4, x4, x7
+		add   x5, x5, #1
+		cmp   x5, x1
+		b.lt  loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		idxBase := base
+		valBase := base + 4*8192 + 0x140
+		var sum uint64
+		for i := 0; i < tableSize; i++ {
+			m.Write64(valBase+mem.Addr(8*i), r.next()%1000000)
+		}
+		for i := 0; i < p.Iters; i++ {
+			idx := (i*531 + r.intn(7)) % tableSize
+			m.Write(idxBase+mem.Addr(4*i), 4, uint64(idx))
+			sum += m.Read64(valBase + mem.Addr(8*idx))
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(idxBase))
+		set(isa.X3, uint64(valBase))
+		return expectReg(isa.X4, sum)
+	},
+}
+
+// scatterSpec: streaming indirect write.
+var scatterSpec = &Spec{
+	Name:        "scatter",
+	Suite:       "spatter",
+	Description: "dst[idx[i]] = src[i] with a cache-defeating index stream",
+	SlabBytes:   4*8192 + 8*8192 + 8*tableSize + 4096,
+	Prog: asm.MustAssemble("scatter", `
+		mov x5, #0
+	loop:
+		ldrsw x6, [x2, x5, lsl #2]
+		ldr   x7, [x3, x5, lsl #3]
+		str   x7, [x4, x6, lsl #3]
+		add   x5, x5, #1
+		cmp   x5, x1
+		b.lt  loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		idxBase := base
+		srcBase := base + 4*8192 + 0x140
+		dstBase := srcBase + 8*8192 + 0x1c0
+		want := make(map[mem.Addr]uint64)
+		for i := 0; i < p.Iters; i++ {
+			idx := (i*531 + r.intn(7)) % tableSize
+			v := r.next() % 1000000
+			m.Write(idxBase+mem.Addr(4*i), 4, uint64(idx))
+			m.Write64(srcBase+mem.Addr(8*i), v)
+			want[dstBase+mem.Addr(8*idx)] = v
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(idxBase))
+		set(isa.X3, uint64(srcBase))
+		set(isa.X4, uint64(dstBase))
+		return expectMem(want)
+	},
+}
+
+// gsSpec: combined gather + scatter.
+var gsSpec = &Spec{
+	Name:        "gs",
+	Suite:       "spatter",
+	Description: "dst[idx2[i]] = src[idx1[i]] (gather-scatter)",
+	SlabBytes:   2*4*8192 + 2*8*tableSize + 8192,
+	Prog: asm.MustAssemble("gs", `
+		mov x5, #0
+	loop:
+		ldrsw x6, [x2, x5, lsl #2]
+		ldrsw x7, [x3, x5, lsl #2]
+		ldr   x8, [x9, x6, lsl #3]
+		str   x8, [x10, x7, lsl #3]
+		add   x5, x5, #1
+		cmp   x5, x1
+		b.lt  loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		idx1 := base
+		idx2 := idx1 + 4*8192 + 0x140
+		src := idx2 + 4*8192 + 0x1c0
+		dst := src + 8*tableSize + 0x240
+		for i := 0; i < tableSize; i++ {
+			m.Write64(src+mem.Addr(8*i), r.next()%1000000)
+		}
+		want := make(map[mem.Addr]uint64)
+		for i := 0; i < p.Iters; i++ {
+			a := (i*379 + r.intn(11)) % tableSize
+			b := (i*523 + r.intn(13)) % tableSize
+			m.Write(idx1+mem.Addr(4*i), 4, uint64(a))
+			m.Write(idx2+mem.Addr(4*i), 4, uint64(b))
+			want[dst+mem.Addr(8*b)] = m.Read64(src + mem.Addr(8*a))
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(idx1))
+		set(isa.X3, uint64(idx2))
+		set(isa.X9, uint64(src))
+		set(isa.X10, uint64(dst))
+		return expectMem(want)
+	},
+}
+
+// strideSpec: uniform-stride read stream (one load per line).
+var strideSpec = &Spec{
+	Name:        "stride",
+	Suite:       "spatter",
+	Description: "sum += a[8*i]: unit work per cache line",
+	SlabBytes:   64 * 8192,
+	Prog: asm.MustAssemble("stride", `
+		mov x4, #0
+		mov x5, #0
+	loop:
+		ldr  x6, [x2, x5, lsl #6]
+		add  x4, x4, x6
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		var sum uint64
+		for i := 0; i < p.Iters; i++ {
+			v := r.next() % 1000000
+			m.Write64(base+mem.Addr(64*i), v)
+			sum += v
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(base))
+		return expectReg(isa.X4, sum)
+	},
+}
+
+// chaseSpec: serial pointer chase — zero MLP within a thread.
+var chaseSpec = &Spec{
+	Name:        "chase",
+	Suite:       "spatter",
+	Description: "p = *p pointer chase: one dependent miss per iteration",
+	SlabBytes:   8 * tableSize * 8,
+	Prog: asm.MustAssemble("chase", `
+		mov x5, #0
+	loop:
+		ldr  x4, [x4]
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		// Build a random permutation cycle over `nodes` pointer slots,
+		// spaced one per line to defeat the cache.
+		nodes := tableSize
+		perm := make([]int, nodes)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := nodes - 1; i > 0; i-- {
+			j := r.intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		addrOf := func(slot int) mem.Addr { return base + mem.Addr(64*slot) }
+		for i := 0; i < nodes; i++ {
+			m.Write64(addrOf(perm[i]), uint64(addrOf(perm[(i+1)%nodes])))
+		}
+		start := addrOf(perm[0])
+		cur := start
+		for i := 0; i < p.Iters; i++ {
+			cur = mem.Addr(m.Read64(cur))
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X4, uint64(start))
+		return expectReg(isa.X4, uint64(cur))
+	},
+}
+
+// ---- meabo suite ----
+
+// meaboSpec: mixed compute and irregular memory phases per iteration.
+var meaboSpec = &Spec{
+	Name:        "meabo",
+	Suite:       "meabo",
+	Description: "compute chain + streaming load + irregular store per iteration",
+	SlabBytes:   8*8192 + 8*64 + 4096,
+	Prog: asm.MustAssemble("meabo", `
+		mov x9, #0
+		mov x5, #0
+	loop:
+		ldr  x6, [x2, x5, lsl #3]
+		mul  x7, x6, x6
+		add  x7, x7, x6
+		eor  x8, x7, x6
+		add  x9, x9, x8
+		and  x10, x6, #63
+		str  x8, [x3, x10, lsl #3]
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		src := base
+		tbl := base + 8*8192 + 0x140
+		var sum uint64
+		want := make(map[mem.Addr]uint64)
+		for i := 0; i < p.Iters; i++ {
+			v := r.next() % (1 << 20)
+			m.Write64(src+mem.Addr(8*i), v)
+			x := (v*v + v) ^ v
+			sum += x
+			want[tbl+mem.Addr(8*(v&63))] = x
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(src))
+		set(isa.X3, uint64(tbl))
+		return both(expectReg(isa.X9, sum), expectMem(want))
+	},
+}
+
+// ---- CORAL-2 suite ----
+
+// lookupSpec: XSBench-flavoured randomized table lookup with compute.
+var lookupSpec = &Spec{
+	Name:        "lookup",
+	Suite:       "coral2",
+	Description: "LCG-randomized table lookup with light compute (XSBench-like)",
+	SlabBytes:   8 * tableSize,
+	Prog: asm.MustAssemble("lookup", `
+		mov x7, #0
+		mov x5, #0
+	loop:
+		mul  x4, x4, x11
+		add  x4, x4, #12345
+		lsr  x8, x4, #17
+		and  x8, x8, x12
+		ldr  x9, [x3, x8, lsl #3]
+		eor  x7, x7, x9
+		add  x7, x7, x9
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		for i := 0; i < tableSize; i++ {
+			m.Write64(base+mem.Addr(8*i), r.next())
+		}
+		const mult = 6364136223846793005
+		state := r.next() | 1
+		var acc uint64
+		s := state
+		for i := 0; i < p.Iters; i++ {
+			s = s*mult + 12345
+			idx := (s >> 17) & (tableSize - 1)
+			v := m.Read64(base + mem.Addr(8*idx))
+			acc = (acc ^ v) + v
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X3, uint64(base))
+		set(isa.X4, state)
+		set(isa.X11, uint64(mult))
+		set(isa.X12, tableSize-1)
+		return expectReg(isa.X7, acc)
+	},
+}
+
+// triadSpec: STREAM triad.
+var triadSpec = &Spec{
+	Name:        "triad",
+	Suite:       "coral2",
+	Description: "a[i] = b[i] + k*c[i] (STREAM triad)",
+	SlabBytes:   3*8*8192 + 8192,
+	Prog: asm.MustAssemble("triad", `
+		mov x5, #0
+	loop:
+		ldr  x6, [x2, x5, lsl #3]
+		ldr  x7, [x3, x5, lsl #3]
+		mul  x7, x7, x10
+		add  x6, x6, x7
+		str  x6, [x4, x5, lsl #3]
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		b := base
+		c := base + 8*8192 + 0x140
+		a := c + 8*8192 + 0x1c0
+		const k = 3
+		want := make(map[mem.Addr]uint64)
+		for i := 0; i < p.Iters; i++ {
+			vb, vc := r.next()%(1<<30), r.next()%(1<<30)
+			m.Write64(b+mem.Addr(8*i), vb)
+			m.Write64(c+mem.Addr(8*i), vc)
+			want[a+mem.Addr(8*i)] = vb + k*vc
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(b))
+		set(isa.X3, uint64(c))
+		set(isa.X4, uint64(a))
+		set(isa.X10, k)
+		return expectMem(want)
+	},
+}
+
+// ---- PrIM suite ----
+
+// vecaddSpec: elementwise vector add.
+var vecaddSpec = &Spec{
+	Name:        "vecadd",
+	Suite:       "prim",
+	Description: "c[i] = a[i] + b[i]",
+	SlabBytes:   3*8*8192 + 8192,
+	Prog: asm.MustAssemble("vecadd", `
+		mov x5, #0
+	loop:
+		ldr  x6, [x2, x5, lsl #3]
+		ldr  x7, [x3, x5, lsl #3]
+		add  x6, x6, x7
+		str  x6, [x4, x5, lsl #3]
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		a := base
+		b := base + 8*8192 + 0x140
+		c := b + 8*8192 + 0x1c0
+		want := make(map[mem.Addr]uint64)
+		for i := 0; i < p.Iters; i++ {
+			va, vb := r.next()%(1<<30), r.next()%(1<<30)
+			m.Write64(a+mem.Addr(8*i), va)
+			m.Write64(b+mem.Addr(8*i), vb)
+			want[c+mem.Addr(8*i)] = va + vb
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(a))
+		set(isa.X3, uint64(b))
+		set(isa.X4, uint64(c))
+		return expectMem(want)
+	},
+}
+
+// reductionSpec: streaming sum.
+var reductionSpec = &Spec{
+	Name:        "reduction",
+	Suite:       "prim",
+	Description: "sum += a[i] (sequential reduction)",
+	SlabBytes:   8*8192 + 4096,
+	Prog: asm.MustAssemble("reduction", `
+		mov x4, #0
+		mov x5, #0
+	loop:
+		ldr  x6, [x2, x5, lsl #3]
+		add  x4, x4, x6
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		var sum uint64
+		for i := 0; i < p.Iters; i++ {
+			v := r.next() % 1000000
+			m.Write64(base+mem.Addr(8*i), v)
+			sum += v
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(base))
+		return expectReg(isa.X4, sum)
+	},
+}
+
+// histogramSpec: indirect read-modify-write.
+var histogramSpec = &Spec{
+	Name:        "histogram",
+	Suite:       "prim",
+	Description: "bins[a[i] & 255]++ (indirect read-modify-write)",
+	SlabBytes:   8*8192 + 8*256 + 4096,
+	Prog: asm.MustAssemble("histogram", `
+		mov x5, #0
+	loop:
+		ldr  x6, [x2, x5, lsl #3]
+		and  x6, x6, #255
+		ldr  x7, [x3, x6, lsl #3]
+		add  x7, x7, #1
+		str  x7, [x3, x6, lsl #3]
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		src := base
+		bins := base + 8*8192 + 0x140
+		counts := make(map[int]uint64)
+		for i := 0; i < p.Iters; i++ {
+			v := r.next()
+			m.Write64(src+mem.Addr(8*i), v)
+			counts[int(v&255)]++
+		}
+		want := make(map[mem.Addr]uint64)
+		for b, n := range counts {
+			want[bins+mem.Addr(8*b)] = n
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(src))
+		set(isa.X3, uint64(bins))
+		return expectMem(want)
+	},
+}
+
+// spmvSpec: CSR sparse matrix-vector product (nested loops).
+var spmvSpec = &Spec{
+	Name:        "spmv",
+	Suite:       "prim",
+	Description: "y = A*x over CSR with irregular column accesses",
+	SlabBytes:   8*1024 + 8*16384 + 8*16384 + 8*tableSize + 8*1024 + 8192,
+	Prog: asm.MustAssemble("spmv", `
+		mov x5, #0
+	row:
+		ldr  x8, [x2, x5, lsl #3]
+		add  x9, x5, #1
+		ldr  x9, [x2, x9, lsl #3]
+		mov  x10, #0
+	inner:
+		cmp  x8, x9
+		b.ge done
+		ldr  x11, [x3, x8, lsl #3]
+		ldr  x12, [x4, x8, lsl #3]
+		ldr  x13, [x6, x11, lsl #3]
+		mul  x12, x12, x13
+		add  x10, x10, x12
+		add  x8, x8, #1
+		b    inner
+	done:
+		str  x10, [x7, x5, lsl #3]
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt row
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		rows := p.Iters / 4
+		if rows == 0 {
+			rows = 1
+		}
+		nnzPerRow := 4
+		rowptr := base
+		colidx := rowptr + 8*1024 + 0x140
+		vals := colidx + 8*16384 + 0x1c0
+		x := vals + 8*16384 + 0x240
+		y := x + 8*tableSize + 0x2c0
+		for i := 0; i < tableSize; i++ {
+			m.Write64(x+mem.Addr(8*i), r.next()%1000)
+		}
+		want := make(map[mem.Addr]uint64)
+		nnz := 0
+		for row := 0; row < rows; row++ {
+			m.Write64(rowptr+mem.Addr(8*row), uint64(nnz))
+			var acc uint64
+			for k := 0; k < nnzPerRow; k++ {
+				col := (row*977 + k*613 + r.intn(31)) % tableSize
+				v := r.next() % 100
+				m.Write64(colidx+mem.Addr(8*nnz), uint64(col))
+				m.Write64(vals+mem.Addr(8*nnz), v)
+				acc += v * m.Read64(x+mem.Addr(8*col))
+				nnz++
+			}
+			want[y+mem.Addr(8*row)] = acc
+		}
+		m.Write64(rowptr+mem.Addr(8*rows), uint64(nnz))
+		set(isa.X1, uint64(rows))
+		set(isa.X2, uint64(rowptr))
+		set(isa.X3, uint64(colidx))
+		set(isa.X4, uint64(vals))
+		set(isa.X6, uint64(x))
+		set(isa.X7, uint64(y))
+		return expectMem(want)
+	},
+}
+
+// bfsSpec: frontier expansion with two-level indirection.
+var bfsSpec = &Spec{
+	Name:        "bfs",
+	Suite:       "prim",
+	Description: "frontier walk: chained node->offset->neighbor loads",
+	SlabBytes:   8*8192 + 8*tableSize + 8*tableSize + 8192,
+	Prog: asm.MustAssemble("bfs", `
+		mov x9, #0
+		mov x5, #0
+	loop:
+		ldr  x6, [x2, x5, lsl #3]
+		ldr  x7, [x3, x6, lsl #3]
+		ldr  x8, [x4, x7, lsl #3]
+		add  x9, x9, x8
+		add  x5, x5, #1
+		cmp  x5, x1
+		b.lt loop
+		halt
+	`),
+	Setup: func(m *mem.Memory, base mem.Addr, p Params, set func(isa.Reg, uint64)) Verify {
+		r := newRng(p)
+		frontier := base
+		offsets := base + 8*8192 + 0x140
+		data := offsets + 8*tableSize + 0x1c0
+		for i := 0; i < tableSize; i++ {
+			m.Write64(offsets+mem.Addr(8*i), uint64(r.intn(tableSize)))
+			m.Write64(data+mem.Addr(8*i), r.next()%100000)
+		}
+		var sum uint64
+		for i := 0; i < p.Iters; i++ {
+			node := (i*769 + r.intn(17)) % tableSize
+			m.Write64(frontier+mem.Addr(8*i), uint64(node))
+			off := m.Read64(offsets + mem.Addr(8*node))
+			sum += m.Read64(data + mem.Addr(8*off))
+		}
+		set(isa.X1, uint64(p.Iters))
+		set(isa.X2, uint64(frontier))
+		set(isa.X3, uint64(offsets))
+		set(isa.X4, uint64(data))
+		return expectReg(isa.X9, sum)
+	},
+}
+
+var all = []*Spec{
+	gatherSpec, scatterSpec, gsSpec, strideSpec, chaseSpec,
+	meaboSpec,
+	lookupSpec, triadSpec,
+	vecaddSpec, reductionSpec, histogramSpec, spmvSpec, bfsSpec,
+}
+
+// All returns every kernel, in suite order.
+func All() []*Spec { return all }
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (*Spec, bool) {
+	for _, s := range all {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists all kernel names.
+func Names() []string {
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	return out
+}

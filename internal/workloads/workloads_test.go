@@ -1,0 +1,194 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"github.com/virec/virec/internal/cpu"
+	"github.com/virec/virec/internal/cpu/regfile"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/mem/cache"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
+)
+
+const (
+	regBase  = mem.Addr(0x4000000)
+	dataBase = mem.Addr(0x10000)
+)
+
+// runWorkload executes spec on `threads` hardware threads with the given
+// provider and verifies every thread's final state against the golden
+// model. It returns total cycles.
+func runWorkload(t *testing.T, spec *workloads.Spec, threads int, virec bool, physRegs int) uint64 {
+	t.Helper()
+	memory := mem.NewMemory()
+	lower := mem.NewDelayDevice(60)
+	layout := cpu.RegLayout{Base: regBase}
+	ccfg := cache.Config{
+		Name: "dcache", SizeBytes: 8 * 1024, Assoc: 4,
+		HitLatency: 2, MSHRs: 24, Ports: 1,
+	}
+	if virec {
+		ccfg.RegRegionBase = regBase
+		ccfg.RegRegionSize = layout.Size(threads)
+	}
+	dc := cache.New(ccfg, lower)
+	var provider cpu.Provider
+	if virec {
+		provider = regfile.NewViReC(regfile.ViReCConfig{PhysRegs: physRegs, Policy: vrmu.LRC},
+			threads, dc, memory, layout)
+	} else {
+		provider = regfile.NewBanked(threads, dc, memory, layout)
+	}
+	core := cpu.New(cpu.Config{Threads: threads, ValidateValues: true}, provider, dc, memory)
+
+	verifies := make([]workloads.Verify, threads)
+	for th := 0; th < threads; th++ {
+		base := dataBase + mem.Addr(uint64(th)*(spec.SlabBytes+0x2c0))
+		p := workloads.DefaultParams(th)
+		p.Iters = 96
+		thread := core.Thread(th)
+		thread.Prog = spec.Prog
+		verifies[th] = spec.Setup(memory, base, p, func(r isa.Reg, v uint64) {
+			memory.Write64(layout.RegAddr(th, r), v)
+			thread.SetShadow(r, v)
+		})
+	}
+	core.Start()
+	var cycle uint64
+	for ; cycle < 50000000 && !core.Done(); cycle++ {
+		core.Tick(cycle)
+		dc.Tick(cycle)
+		lower.Tick(cycle)
+	}
+	if !core.Done() {
+		t.Fatalf("%s did not finish", spec.Name)
+	}
+	for th := 0; th < threads; th++ {
+		thread := core.Thread(th)
+		if err := verifies[th](thread.Shadow, memory); err != nil {
+			t.Errorf("%s thread %d: %v", spec.Name, th, err)
+		}
+	}
+	if msg := dc.CheckInvariants(); msg != "" {
+		t.Errorf("%s dcache invariant: %s", spec.Name, msg)
+	}
+	return core.Stats.Cycles
+}
+
+func TestAllWorkloadsBanked(t *testing.T) {
+	for _, spec := range workloads.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			runWorkload(t, spec, 4, false, 0)
+		})
+	}
+}
+
+func TestAllWorkloadsViReC(t *testing.T) {
+	for _, spec := range workloads.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			runWorkload(t, spec, 4, true, 48)
+		})
+	}
+}
+
+func TestAllWorkloadsViReCHighContention(t *testing.T) {
+	for _, spec := range workloads.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			// ~40% of 4 threads' active contexts, but at least 8.
+			phys := 4 * len(spec.ActiveRegs()) * 40 / 100
+			if phys < 8 {
+				phys = 8
+			}
+			runWorkload(t, spec, 4, true, phys)
+		})
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	if len(workloads.All()) < 10 {
+		t.Errorf("only %d workloads; the evaluation needs a broad set", len(workloads.All()))
+	}
+	seen := map[string]bool{}
+	suites := map[string]bool{}
+	for _, s := range workloads.All() {
+		if s.Name == "" || s.Prog == nil || s.Setup == nil || s.SlabBytes == 0 {
+			t.Errorf("workload %q incompletely specified", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate workload name %q", s.Name)
+		}
+		seen[s.Name] = true
+		suites[s.Suite] = true
+	}
+	for _, want := range []string{"spatter", "meabo", "coral2", "prim"} {
+		if !suites[want] {
+			t.Errorf("missing suite %q", want)
+		}
+	}
+	if _, ok := workloads.ByName("gather"); !ok {
+		t.Error("ByName(gather) failed")
+	}
+	if _, ok := workloads.ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+	if len(workloads.Names()) != len(workloads.All()) {
+		t.Error("Names length mismatch")
+	}
+}
+
+func TestRegisterUsageGather(t *testing.T) {
+	spec, _ := workloads.ByName("gather")
+	inner, total := workloads.RegisterUsage(spec.Prog)
+	// Loop body: x1,x2,x3,x4,x5,x6,x7.
+	if len(inner) != 7 {
+		t.Errorf("gather inner regs = %v, want 7 registers", inner)
+	}
+	if len(total) < len(inner) {
+		t.Errorf("total %d < inner %d", len(total), len(inner))
+	}
+	for _, r := range []isa.Reg{isa.X1, isa.X2, isa.X5, isa.X6, isa.X7} {
+		found := false
+		for _, g := range inner {
+			if g == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("gather inner regs missing %s: %v", r, inner)
+		}
+	}
+}
+
+// TestFigure2Property: the paper's motivation — memory-intensive kernels
+// use well under the full 32-register context in their loops.
+func TestFigure2Property(t *testing.T) {
+	for _, s := range workloads.All() {
+		u := workloads.InnerLoopUtilization(s)
+		if u <= 0 || u > 0.5 {
+			t.Errorf("%s inner-loop utilization %.2f outside (0, 0.5]; the "+
+				"active-context premise fails", s.Name, u)
+		}
+	}
+}
+
+func TestActiveRegsCoverOracleNeeds(t *testing.T) {
+	// The exact-prefetch oracle uses ActiveRegs; a register read in a loop
+	// but absent from ActiveRegs would force on-demand fills.
+	for _, s := range workloads.All() {
+		inner, _ := workloads.RegisterUsage(s.Prog)
+		active := s.ActiveRegs()
+		if len(active) != len(inner) {
+			t.Errorf("%s ActiveRegs %v != inner %v", s.Name, active, inner)
+		}
+	}
+}
+
+func TestNestedLoopWorkloadUsage(t *testing.T) {
+	spec, _ := workloads.ByName("spmv")
+	inner, _ := workloads.RegisterUsage(spec.Prog)
+	if len(inner) < 10 {
+		t.Errorf("spmv loops use %d regs, expected a larger working set", len(inner))
+	}
+}
