@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/virec/virec/internal/harden"
 	"github.com/virec/virec/internal/sim"
 	"github.com/virec/virec/internal/stats"
 	"github.com/virec/virec/internal/vrmu"
@@ -35,6 +36,10 @@ func main() {
 		validate  = flag.Bool("validate", true, "golden-model value checking")
 		list      = flag.Bool("list", false, "list workloads and exit")
 		trace     = flag.String("trace", "", "write a pipeline event trace (switches, loads, cancels) to this file")
+		faults    = flag.Uint64("faults", 0, "fault-injection seed (0 disables); perturbs dcache timing, never values")
+		faultPlan = flag.String("fault-plan", "all", "named fault schedule: jitter|busy|storm|all")
+		watchdog  = flag.Uint64("watchdog", 0, "livelock watchdog window in cycles (0 disables)")
+		checkEv   = flag.Uint64("check-every", 0, "run the invariant sweep every N cycles (0 = final sweep only)")
 	)
 	flag.Parse()
 
@@ -75,6 +80,19 @@ func main() {
 		DCacheBytes:      *dcacheKB * 1024,
 		DCacheHitLatency: *dcacheLat,
 		ValidateValues:   *validate,
+		Harden: harden.Config{
+			FaultSeed:      *faults,
+			WatchdogWindow: *watchdog,
+			CheckEvery:     *checkEv,
+		},
+	}
+	if *faults != 0 {
+		plan, ok := harden.PlanByName(*faultPlan)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "virec-sim: unknown fault plan %q (try jitter|busy|storm|all)\n", *faultPlan)
+			os.Exit(2)
+		}
+		cfg.Harden.Plan = plan
 	}
 	system, err := sim.New(cfg)
 	if err != nil {
@@ -121,6 +139,14 @@ func main() {
 			rt.AddRow(i, 100*ts.HitRate(), ts.Evictions, ts.DirtyEvict, ts.CResets)
 		}
 		fmt.Print(rt.String())
+	}
+	if len(system.Injectors) > 0 {
+		it := stats.NewTable("core", "jittered", "jitter_cyc", "busy_bursts", "busy_rejects", "storms", "storm_fetches")
+		for i, inj := range system.Injectors {
+			st := inj.Stats
+			it.AddRow(i, st.Jittered, st.JitterCycles, st.BusyBursts, st.BusyRejects, st.Storms, st.StormFetches)
+		}
+		fmt.Print(it.String())
 	}
 	if res.DRAMStats != nil {
 		fmt.Printf("dram: %d reads, %d writes, avg read latency %.1f cycles, row hits %d / misses %d / conflicts %d\n",

@@ -1,0 +1,52 @@
+package asm_test
+
+import (
+	"testing"
+
+	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/workloads"
+)
+
+// FuzzAssemble hammers the assembler with arbitrary source text. The
+// properties under test: Assemble never panics, and any text it accepts
+// survives a disassemble→assemble round trip with an identical
+// instruction sequence (isa.Inst is fully comparable) and a stable
+// second disassembly.
+func FuzzAssemble(f *testing.F) {
+	for _, w := range workloads.All() {
+		f.Add(asm.Disassemble(w.Prog))
+	}
+	f.Add("ADD r1, r2, r3\nHALT\n")
+	f.Add("loop:\n  LD r4, [r2+8]\n  BNE r4, r0, loop\nRET\n")
+	f.Add("LI r7, -42 ; comment\nST [r7+0], r7")
+	f.Add("BEQ r0, r0, 0\n")
+	f.Add("FADD f1, f2, f3\nFLD f0, [r1+16]\n")
+	f.Add(":\n")
+	f.Add("LD r1, [r2+")
+	f.Add("ADD r1 r2 r3")
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := asm.Assemble(src) // must not panic on any input
+		if err != nil {
+			return
+		}
+		text1 := asm.Disassemble(p1)
+		p2, err := asm.Assemble(text1)
+		if err != nil {
+			t.Fatalf("accepted program fails to reassemble: %v\ninput:\n%s\ndisassembly:\n%s", err, src, text1)
+		}
+		if len(p1.Insts) != len(p2.Insts) {
+			t.Fatalf("round trip changed length %d -> %d\ninput:\n%s", len(p1.Insts), len(p2.Insts), src)
+		}
+		for i := range p1.Insts {
+			if p1.Insts[i] != p2.Insts[i] {
+				t.Fatalf("inst %d changed across round trip: %+v -> %+v\ninput:\n%s\ndisassembly:\n%s",
+					i, p1.Insts[i], p2.Insts[i], src, text1)
+			}
+		}
+		if text2 := asm.Disassemble(p2); text1 != text2 {
+			t.Fatalf("disassembly not stable:\nfirst:\n%s\nsecond:\n%s", text1, text2)
+		}
+	})
+}

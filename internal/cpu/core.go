@@ -17,6 +17,7 @@ package cpu
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/virec/virec/internal/asm"
 	"github.com/virec/virec/internal/isa"
@@ -927,3 +928,66 @@ func (c *Core) drainSQ() {
 
 // SetTrace installs a debug event hook (tests only).
 func (c *Core) SetTrace(fn func(cycle uint64, event string)) { c.cfg.Trace = fn }
+
+// ---- diagnostics & invariants (the hardening layer's window) ----
+
+func stageStr(f *inflight) string {
+	if f == nil {
+		return "-"
+	}
+	if f.squashed {
+		return "squashed"
+	}
+	return fmt.Sprintf("{t%d pc=%d %s}", f.thread, f.pc, f.in)
+}
+
+// DebugDump renders the core's scheduling and pipeline state for
+// diagnostic reports (watchdog dumps, crash errors): the running thread,
+// pending-switch state, stage occupancy, and per-thread PC/progress.
+func (c *Core) DebugDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cur=t%d live=%d/%d pendingSwitch=%d zeroCommitSwitches=%d fetchQ=%d/%d sq=%d/%d\n",
+		c.cur, c.liveThreads(), len(c.threads), c.pendingSwitch, c.zeroCommitSwitches,
+		len(c.fetchQ), c.cfg.FetchBufSize, len(c.sq), c.cfg.SQEntries)
+	fmt.Fprintf(&b, "stages: dec=%s ex=%s mem=%s wb=%s\n",
+		stageStr(c.dec), stageStr(c.ex), stageStr(c.mm), stageStr(c.wb))
+	for _, t := range c.threads {
+		state := "ready"
+		switch {
+		case t.Halted:
+			state = "halted"
+		case t.ID == c.cur:
+			state = "running"
+		case !t.Started:
+			state = "not-started"
+		}
+		fmt.Fprintf(&b, "t%d: pc=%d %s insts=%d\n", t.ID, t.PC, state, c.Stats.InstsPerThread[t.ID])
+	}
+	return b.String()
+}
+
+// CheckInvariants validates the pipeline's structural bounds — the fetch
+// buffer and store queue must never exceed their configured sizes, the
+// halted count must agree with the per-thread flags, and the running
+// thread must be a real live thread. Returns "" when everything holds.
+func (c *Core) CheckInvariants() string {
+	if len(c.fetchQ) > c.cfg.FetchBufSize {
+		return fmt.Sprintf("fetch buffer holds %d slots, limit %d", len(c.fetchQ), c.cfg.FetchBufSize)
+	}
+	if len(c.sq) > c.cfg.SQEntries {
+		return fmt.Sprintf("store queue holds %d entries, limit %d", len(c.sq), c.cfg.SQEntries)
+	}
+	halted := 0
+	for _, t := range c.threads {
+		if t.Halted {
+			halted++
+		}
+	}
+	if halted != c.halted {
+		return fmt.Sprintf("halted counter %d disagrees with %d halted threads", c.halted, halted)
+	}
+	if c.cur < -1 || c.cur >= len(c.threads) {
+		return fmt.Sprintf("running thread %d out of range", c.cur)
+	}
+	return ""
+}

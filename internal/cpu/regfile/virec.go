@@ -2,6 +2,8 @@ package regfile
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"github.com/virec/virec/internal/cpu"
 	"github.com/virec/virec/internal/isa"
@@ -429,7 +431,11 @@ func (p *ViReC) ReadValue(thread int, r isa.Reg) uint64 {
 	}
 	phys, ok := p.tags.Lookup(thread, r)
 	if !ok {
-		panic(fmt.Sprintf("regfile: ReadValue of non-resident %s (thread %d)", r, thread))
+		// The core only calls ReadValue after Acquire reported the
+		// register resident, so a miss here is corruption; sim.Run
+		// recovers this panic into a *sim.CrashError carrying a full
+		// diagnostic dump.
+		panic(fmt.Sprintf("regfile: ReadValue of non-resident %s (thread %d); %s", r, thread, p.DebugState()))
 	}
 	p.tags.Touch(phys)
 	return p.tags.ReadValue(phys)
@@ -700,4 +706,116 @@ func (p *ViReC) DebugState() string {
 	return fmt.Sprintf("pending=%d pendingPhys=%d superseded=%d locked=%d bsiOut=%d loads=%d stores=%d sys=[%+v %+v]",
 		len(p.pending), len(p.pendingPhys), len(p.superseded), len(p.lockedPhys),
 		p.bsi.outstanding, len(p.bsi.loads), len(p.bsi.stores), p.sysBuf[0], p.sysBuf[1])
+}
+
+// ---- hardening-layer hooks (diagnostics and invariants) ----
+
+// ResidentLines returns the number of distinct backing-store cache lines
+// spanned by the currently resident registers. The hardening layer's
+// cross-module invariant compares it against the dcache's pin counters.
+func (p *ViReC) ResidentLines() int {
+	lines := make(map[mem.Addr]bool)
+	for i := 0; i < p.tags.Size(); i++ {
+		if e := p.tags.Entry(i); e.Valid {
+			lines[p.layout.RegAddr(e.Thread, e.Reg).LineAddr()] = true
+		}
+	}
+	return len(lines)
+}
+
+// OutstandingOps returns queued plus in-flight transactions across the
+// register, system-register and prefetch BSIs.
+func (p *ViReC) OutstandingOps() int {
+	return p.bsi.Outstanding() + p.sysBsi.Outstanding() + p.pfBsi.Outstanding()
+}
+
+// CheckInvariants validates the provider's internal consistency: the tag
+// store's index, the rollback queue's ordering and bounds, and the
+// pending-fill bookkeeping (every in-flight fill must mark its physical
+// slot busy so it cannot be chosen as an eviction victim, and a resident
+// mapping for a filling register must target the filling slot). Returns
+// "" when everything holds.
+func (p *ViReC) CheckInvariants() string {
+	if msg := p.tags.CheckInvariants(); msg != "" {
+		return "tag store: " + msg
+	}
+	if msg := p.rq.CheckInvariants(p.tags.Size()); msg != "" {
+		return "rollback queue: " + msg
+	}
+	for key, phys := range p.pending {
+		if phys < 0 || phys >= p.tags.Size() {
+			return fmt.Sprintf("pending fill t%d %s targets physical register %d outside [0,%d)",
+				key.thread, key.reg, phys, p.tags.Size())
+		}
+		if !p.pendingPhys[phys] {
+			return fmt.Sprintf("pending fill t%d %s -> phys %d not marked fill-busy", key.thread, key.reg, phys)
+		}
+		if idx, ok := p.tags.Lookup(key.thread, key.reg); ok && idx != phys {
+			return fmt.Sprintf("pending fill t%d %s targets phys %d but tag store maps it to %d",
+				key.thread, key.reg, phys, idx)
+		}
+	}
+	if len(p.pendingPhys) > p.tags.Size() {
+		return fmt.Sprintf("%d fill-busy slots exceed %d physical registers", len(p.pendingPhys), p.tags.Size())
+	}
+	return ""
+}
+
+// DiagDump renders the VRMU state for watchdog and crash reports: tag
+// residency per thread with the replacement-policy bits, pending fills
+// (the non-resident registers stalled threads are waiting on), BSI
+// occupancy, rollback-queue depth and the system-register ping-pong
+// buffer.
+func (p *ViReC) DiagDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vrmu: phys=%d resident=%d policy=%s rollback=%d/%d bsi(out=%d loads=%d stores=%d) sysBsi=%d pfBsi=%d\n",
+		p.tags.Size(), p.tags.Occupancy(), p.tags.Policy(), p.rq.Len(), p.rq.Depth(),
+		p.bsi.outstanding, len(p.bsi.loads), len(p.bsi.stores),
+		p.sysBsi.Outstanding(), p.pfBsi.Outstanding())
+	byThread := make(map[int][]vrmu.Entry)
+	for i := 0; i < p.tags.Size(); i++ {
+		if e := p.tags.Entry(i); e.Valid {
+			byThread[e.Thread] = append(byThread[e.Thread], e)
+		}
+	}
+	for th := 0; th < p.nThreads; th++ {
+		es := byThread[th]
+		if len(es) == 0 {
+			continue
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].Reg < es[j].Reg })
+		fmt.Fprintf(&b, "t%d resident:", th)
+		for _, e := range es {
+			c := 0
+			if e.C {
+				c = 1
+			}
+			flags := ""
+			if e.Dirty {
+				flags += ",dirty"
+			}
+			if e.Dummy {
+				flags += ",dummy"
+			}
+			fmt.Fprintf(&b, " %s(T=%d,C=%d,A=%d%s)", e.Reg, e.T, c, e.A, flags)
+		}
+		b.WriteByte('\n')
+	}
+	keys := make([]regKey, 0, len(p.pending))
+	for k := range p.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].thread != keys[j].thread {
+			return keys[i].thread < keys[j].thread
+		}
+		return keys[i].reg < keys[j].reg
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "pending fill t%d %s (phys %d, non-resident)\n", k.thread, k.reg, p.pending[k])
+	}
+	fmt.Fprintf(&b, "sysbuf: [t%d ready=%v loading=%v] [t%d ready=%v loading=%v]\n",
+		p.sysBuf[0].thread, p.sysBuf[0].ready, p.sysBuf[0].loading,
+		p.sysBuf[1].thread, p.sysBuf[1].ready, p.sysBuf[1].loading)
+	return b.String()
 }

@@ -1,0 +1,122 @@
+// Package harden is the simulation hardening layer: a deterministic,
+// seeded fault injector that perturbs memory timing without changing
+// architectural behaviour, a livelock/deadlock watchdog that turns silent
+// stalls into structured diagnostic dumps, and an invariant checker that
+// sweeps cross-module consistency conditions continuously during a run.
+//
+// The three pieces cooperate. The injector attacks the timing paths of
+// the VRMU/BSI/CSL machinery — latency jitter on dcache fills and spills,
+// transient port-busy bursts, and eviction storms aimed at the cache sets
+// backing pinned register lines — under the contract that any run under
+// injection must still produce bit-exact architectural results. The
+// checker proves the machinery's invariants hold while the attack runs,
+// instead of only after the run completes. The watchdog converts any
+// livelock the attack provokes into an actionable report naming the stuck
+// thread and its non-resident registers, instead of a 500M-cycle timeout.
+package harden
+
+// Config selects which hardening features a simulation runs with. The
+// zero value disables all of them (plain runs are unchanged).
+type Config struct {
+	// FaultSeed, when non-zero, enables deterministic fault injection on
+	// every core's dcache path. The same seed and configuration reproduce
+	// the same run exactly; different cores derive distinct substreams.
+	FaultSeed uint64
+
+	// Plan selects which perturbations are active. The zero value means
+	// DefaultPlan() when FaultSeed is set.
+	Plan FaultPlan
+
+	// WatchdogWindow is the number of consecutive cycles with zero
+	// committed instructions (system-wide) after which the run is
+	// declared livelocked and a diagnostic dump is produced. Zero
+	// disables the watchdog.
+	WatchdogWindow uint64
+
+	// CheckEvery runs the invariant sweep every CheckEvery cycles during
+	// the run. Zero disables continuous checking; a final sweep still
+	// runs when the simulation completes.
+	CheckEvery uint64
+}
+
+// ResolvedPlan returns the fault plan in effect: the configured plan, or
+// DefaultPlan() when injection is enabled with an all-zero plan.
+func (c *Config) ResolvedPlan() FaultPlan {
+	if c.FaultSeed != 0 && c.Plan == (FaultPlan{}) {
+		return DefaultPlan()
+	}
+	return c.Plan
+}
+
+// FaultPlan describes which timing perturbations the injector applies.
+// All knobs are timing-only: no plan can change architectural results,
+// only when things happen.
+type FaultPlan struct {
+	// MaxJitter adds 0..MaxJitter extra cycles to the completion of each
+	// dcache access (fills, spills, loads, stores). Zero disables.
+	MaxJitter uint64
+
+	// BusyPermille is the per-cycle chance (out of 1000) of starting a
+	// port-busy burst during which every dcache access is rejected,
+	// modeling transient LSQ-port contention. Zero disables.
+	BusyPermille int
+
+	// MaxBusy is the maximum burst length in cycles (bursts last
+	// 1..MaxBusy cycles).
+	MaxBusy uint64
+
+	// StormPermille is the per-cycle chance (out of 1000) of firing an
+	// eviction storm: a burst of conflicting line fetches aimed at the
+	// cache sets holding pinned register lines (or random sets when the
+	// cache has no register region). Zero disables.
+	StormPermille int
+
+	// StormLines is the number of distinct conflicting lines fetched per
+	// storm.
+	StormLines int
+
+	// BlockRegisterFills permanently rejects general register fills at
+	// the backing store interface (system-register ping-pong traffic
+	// still flows). It exists to deliberately induce a livelock so the
+	// watchdog path can be exercised; no legitimate schedule sets it.
+	BlockRegisterFills bool
+}
+
+// DefaultPlan enables every perturbation at moderate intensity.
+func DefaultPlan() FaultPlan {
+	return FaultPlan{
+		MaxJitter:     12,
+		BusyPermille:  15,
+		MaxBusy:       6,
+		StormPermille: 4,
+		StormLines:    8,
+	}
+}
+
+// NamedPlan pairs a fault plan with a stable name for sweeps and CLIs.
+type NamedPlan struct {
+	Name string
+	Plan FaultPlan
+}
+
+// Schedules returns the standard fault schedules the soak suite sweeps:
+// each perturbation in isolation at high intensity, plus everything at
+// once.
+func Schedules() []NamedPlan {
+	return []NamedPlan{
+		{"jitter", FaultPlan{MaxJitter: 24}},
+		{"busy", FaultPlan{BusyPermille: 60, MaxBusy: 10}},
+		{"storm", FaultPlan{StormPermille: 12, StormLines: 12}},
+		{"all", DefaultPlan()},
+	}
+}
+
+// PlanByName looks up one of the standard schedules by name.
+func PlanByName(name string) (FaultPlan, bool) {
+	for _, np := range Schedules() {
+		if np.Name == name {
+			return np.Plan, true
+		}
+	}
+	return FaultPlan{}, false
+}

@@ -1,0 +1,64 @@
+package harden
+
+import (
+	"fmt"
+
+	"github.com/virec/virec/internal/cpu/regfile"
+)
+
+// CheckSystem sweeps every invariant the simulator can state about a
+// composed system: the per-module checks each component already knows how
+// to run (cache pin/MSHR consistency, VRMU tag-store index consistency,
+// rollback-queue ordering, pipeline buffer bounds), plus the cross-module
+// conditions only visible with both sides in hand. It returns "" when
+// everything holds, or a description of the first violation.
+//
+// The cross-module condition ties the dcache's pin counters to the VRMU:
+// a register line may only stay pinned (non-sticky pin counter > 0) while
+// some register it backs is resident in the physical register file or a
+// register transaction that will rebalance the counter is still queued or
+// in flight at a BSI. Pin increments are observed no later than their
+// balancing decrements and saturation only loses increments, so
+//
+//	pinned general register lines <= resident lines + outstanding BSI ops
+//
+// holds at every cycle; a leak (spill lost, double pin) breaks it.
+func CheckSystem(v SystemView) string {
+	for i, c := range v.Cores {
+		if msg := c.CheckInvariants(); msg != "" {
+			return fmt.Sprintf("core%d: %s", i, msg)
+		}
+		if sc, ok := c.Provider().(SelfChecker); ok {
+			if msg := sc.CheckInvariants(); msg != "" {
+				return fmt.Sprintf("core%d provider: %s", i, msg)
+			}
+		}
+	}
+	for i, dc := range v.DCaches {
+		if msg := dc.CheckInvariants(); msg != "" {
+			return fmt.Sprintf("dcache%d: %s", i, msg)
+		}
+	}
+	for i, ic := range v.ICaches {
+		if msg := ic.CheckInvariants(); msg != "" {
+			return fmt.Sprintf("icache%d: %s", i, msg)
+		}
+	}
+	for i, c := range v.Cores {
+		if i >= len(v.DCaches) {
+			break
+		}
+		vp, ok := c.Provider().(*regfile.ViReC)
+		if !ok || v.DCaches[i].Config().PinningDisabled {
+			continue
+		}
+		pinned := v.DCaches[i].PinnedGeneralRegLines()
+		bound := vp.ResidentLines() + vp.OutstandingOps()
+		if pinned > bound {
+			return fmt.Sprintf(
+				"core%d: %d pinned register lines exceed %d resident lines + %d outstanding BSI ops",
+				i, pinned, vp.ResidentLines(), vp.OutstandingOps())
+		}
+	}
+	return ""
+}

@@ -406,6 +406,26 @@ func (c *Cache) PinnedLines() int {
 	return n
 }
 
+// PinnedGeneralRegLines returns the number of valid lines held by the
+// per-register pin counter alone (sticky system-register lines are
+// excluded). The hardening layer's cross-module invariant bounds this
+// count by the VRMU's resident lines plus outstanding BSI transactions.
+func (c *Cache) PinnedGeneralRegLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			if ln.valid && ln.pin > 0 && !ln.sticky {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MSHRsInUse returns the number of allocated MSHRs (diagnostics).
+func (c *Cache) MSHRsInUse() int { return len(c.mshrs) }
+
 // CheckInvariants validates internal consistency; tests call it after
 // workloads run. It returns a descriptive error string or "".
 func (c *Cache) CheckInvariants() string {

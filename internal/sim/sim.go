@@ -9,9 +9,11 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"github.com/virec/virec/internal/cpu"
 	"github.com/virec/virec/internal/cpu/regfile"
+	"github.com/virec/virec/internal/harden"
 	"github.com/virec/virec/internal/interp"
 	"github.com/virec/virec/internal/isa"
 	"github.com/virec/virec/internal/mem"
@@ -110,6 +112,12 @@ type Config struct {
 	// slightly; tests keep it on, large sweeps may disable).
 	ValidateValues bool
 
+	// Harden configures the hardening layer: deterministic fault
+	// injection on the dcache path, the livelock watchdog, and the
+	// continuous invariant checker. The zero value leaves plain runs
+	// unchanged (a final invariant sweep always runs).
+	Harden harden.Config
+
 	MaxCycles uint64
 }
 
@@ -178,6 +186,10 @@ type System struct {
 	layouts []cpu.RegLayout
 	oracles []*regfile.ViReC // Belady-policy providers awaiting sequences
 
+	// Injectors, when fault injection is enabled, sit between each core
+	// (pipeline, store queue, register provider) and its dcache.
+	Injectors []*harden.Injector
+
 	verifies [][]workloads.Verify
 }
 
@@ -244,6 +256,17 @@ func New(cfg Config) (*System, error) {
 		dc := cache.New(ccfg, s.Xbar)
 		s.DCaches = append(s.DCaches, dc)
 
+		// The core and its register provider see the dcache through the
+		// fault injector when one is configured; the cache itself (and
+		// everything below it) is unchanged.
+		var dcDev mem.Device = dc
+		if cfg.Harden.FaultSeed != 0 {
+			inj := harden.NewInjector(cfg.Harden.ResolvedPlan(),
+				cfg.Harden.FaultSeed+uint64(coreID)*0x9e3779b97f4a7c15, dc)
+			s.Injectors = append(s.Injectors, inj)
+			dcDev = inj
+		}
+
 		var ic *cache.Cache
 		if !cfg.NoICache {
 			ic = cache.New(cache.Config{
@@ -260,12 +283,12 @@ func New(cfg Config) (*System, error) {
 		var provider cpu.Provider
 		switch cfg.Kind {
 		case Banked:
-			provider = regfile.NewBanked(cfg.ThreadsPerCore, dc, s.Memory, layout)
+			provider = regfile.NewBanked(cfg.ThreadsPerCore, dcDev, s.Memory, layout)
 		case ViReC:
 			vc := cfg.ViReCOpts
 			vc.PhysRegs = cfg.PhysRegsFor()
 			vc.Policy = cfg.Policy
-			v := regfile.NewViReC(vc, cfg.ThreadsPerCore, dc, s.Memory, layout)
+			v := regfile.NewViReC(vc, cfg.ThreadsPerCore, dcDev, s.Memory, layout)
 			if vc.PrefetchNext {
 				for th := 0; th < cfg.ThreadsPerCore; th++ {
 					spec := cfg.Workload
@@ -280,11 +303,11 @@ func New(cfg Config) (*System, error) {
 			}
 			provider = v
 		case Software:
-			provider = regfile.NewSoftware(cfg.ThreadsPerCore, dc, s.Memory, layout)
+			provider = regfile.NewSoftware(cfg.ThreadsPerCore, dcDev, s.Memory, layout)
 		case PrefetchFull:
-			provider = regfile.NewPrefetch(regfile.PrefetchFull, cfg.ThreadsPerCore, dc, s.Memory, layout)
+			provider = regfile.NewPrefetch(regfile.PrefetchFull, cfg.ThreadsPerCore, dcDev, s.Memory, layout)
 		case PrefetchExact:
-			pf := regfile.NewPrefetch(regfile.PrefetchExact, cfg.ThreadsPerCore, dc, s.Memory, layout)
+			pf := regfile.NewPrefetch(regfile.PrefetchExact, cfg.ThreadsPerCore, dcDev, s.Memory, layout)
 			for th := 0; th < cfg.ThreadsPerCore; th++ {
 				pf.SetUsedRegs(th, cfg.Workload.ActiveRegs())
 			}
@@ -293,7 +316,7 @@ func New(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("sim: unknown core kind %d", cfg.Kind)
 		}
 
-		core := cpu.New(pipeCfg, provider, dc, s.Memory)
+		core := cpu.New(pipeCfg, provider, dcDev, s.Memory)
 		if ic != nil {
 			core.SetICache(ic)
 			base := progBase + mem.Addr(coreID)*0x10_0000
@@ -405,9 +428,24 @@ type Result struct {
 
 // Run simulates until every core finishes (or MaxCycles elapse) and
 // verifies every thread's final state against the workload golden model.
-func (s *System) Run() (*Result, error) {
+func (s *System) Run() (res *Result, err error) {
 	cfg := s.cfg
 	var cycle uint64
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &CrashError{
+				Panic: r,
+				Cycle: cycle,
+				Dump:  harden.Dump(s.view()),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+
+	wd := harden.Watchdog{Window: cfg.Harden.WatchdogWindow}
+	lastInsts := make([]uint64, len(s.Cores))
+	lastCommit := make([]uint64, len(s.Cores))
 	for ; cycle < cfg.MaxCycles; cycle++ {
 		done := true
 		for _, c := range s.Cores {
@@ -422,22 +460,59 @@ func (s *System) Run() (*Result, error) {
 		for _, ic := range s.ICaches {
 			ic.Tick(cycle)
 		}
+		for _, inj := range s.Injectors {
+			inj.Tick(cycle)
+		}
 		s.Xbar.Tick(cycle)
 		if s.DRAM != nil {
 			s.DRAM.Tick(cycle)
 		} else {
 			s.fixed.Tick(cycle)
 		}
+		var total uint64
+		for i, c := range s.Cores {
+			total += c.Stats.Insts
+			if c.Stats.Insts != lastInsts[i] {
+				lastInsts[i] = c.Stats.Insts
+				lastCommit[i] = cycle
+			}
+		}
 		if done {
 			break
 		}
+		if wd.Window > 0 && wd.Observe(cycle, total) {
+			return nil, &LivelockError{
+				Cycle:        cycle,
+				Window:       wd.Window,
+				LastProgress: wd.LastProgress(),
+				Dump:         harden.Dump(s.view()),
+			}
+		}
+		if k := cfg.Harden.CheckEvery; k > 0 && cycle%k == k-1 {
+			if msg := harden.CheckSystem(s.view()); msg != "" {
+				return nil, &InvariantError{
+					Cycle:     cycle,
+					Violation: msg,
+					Dump:      harden.Dump(s.view()),
+				}
+			}
+		}
 	}
 	if cycle >= cfg.MaxCycles {
-		return nil, fmt.Errorf("sim: %s/%s did not finish within %d cycles",
-			cfg.Kind, cfg.Workload.Name, cfg.MaxCycles)
+		return nil, s.maxCyclesError(lastInsts, lastCommit)
 	}
 
-	res := &Result{Cycles: cycle + 1}
+	// Final unconditional invariant sweep: every run, faulted or not,
+	// must end with a self-consistent machine.
+	if msg := harden.CheckSystem(s.view()); msg != "" {
+		return nil, &InvariantError{
+			Cycle:     cycle,
+			Violation: msg,
+			Dump:      harden.Dump(s.view()),
+		}
+	}
+
+	res = &Result{Cycles: cycle + 1}
 	for coreID, c := range s.Cores {
 		res.CoreStats = append(res.CoreStats, c.Stats)
 		res.Insts += c.Stats.Insts
@@ -445,14 +520,8 @@ func (s *System) Run() (*Result, error) {
 		if coreID < len(s.ICaches) {
 			res.ICacheStats = append(res.ICacheStats, s.ICaches[coreID].Stats)
 		}
-		if msg := s.DCaches[coreID].CheckInvariants(); msg != "" {
-			return nil, fmt.Errorf("sim: dcache%d invariant violated: %s", coreID, msg)
-		}
 		if v, ok := c.Provider().(*regfile.ViReC); ok {
 			res.TagStats = append(res.TagStats, v.Tags().Stats)
-			if msg := v.Tags().CheckInvariants(); msg != "" {
-				return nil, fmt.Errorf("sim: core%d tag store invariant violated: %s", coreID, msg)
-			}
 		}
 		for th := 0; th < cfg.ThreadsPerCore; th++ {
 			if err := s.verifies[coreID][th](c.Thread(th).Shadow, s.Memory); err != nil {

@@ -1,5 +1,7 @@
 package vrmu
 
+import "fmt"
+
 // RollbackEntry records the physical registers touched by one in-flight
 // instruction, plus whether that instruction is a memory operation (the
 // context switching logic needs the memory status of the oldest entry).
@@ -37,6 +39,30 @@ func (q *RollbackQueue) Full() bool { return len(q.entries) >= q.depth }
 // Len returns the number of in-flight instructions tracked.
 func (q *RollbackQueue) Len() int { return len(q.entries) }
 
+// Depth returns the configured capacity.
+func (q *RollbackQueue) Depth() int { return q.depth }
+
+// CheckInvariants validates the queue against a tag store of physSize
+// entries: occupancy within depth, strictly increasing sequence numbers
+// (the backend is in-order), and every recorded physical index in range.
+// It returns a description of the first violation, or "".
+func (q *RollbackQueue) CheckInvariants(physSize int) string {
+	if len(q.entries) > q.depth {
+		return fmt.Sprintf("%d entries exceed depth %d", len(q.entries), q.depth)
+	}
+	for i, e := range q.entries {
+		if i > 0 && e.Seq <= q.entries[i-1].Seq {
+			return fmt.Sprintf("entry %d seq %d not after predecessor seq %d", i, e.Seq, q.entries[i-1].Seq)
+		}
+		for _, p := range e.Phys {
+			if p < 0 || p >= physSize {
+				return fmt.Sprintf("entry %d (seq %d) records physical register %d outside [0,%d)", i, e.Seq, p, physSize)
+			}
+		}
+	}
+	return ""
+}
+
 // Push records an instruction that passed decode. phys is copied.
 func (q *RollbackQueue) Push(seq uint64, phys []int, isMem bool) {
 	cp := make([]int, len(phys))
@@ -52,7 +78,8 @@ func (q *RollbackQueue) Commit(seq uint64) {
 		return
 	}
 	if q.entries[0].Seq != seq {
-		panic("vrmu: out-of-order commit against rollback queue")
+		panic(fmt.Sprintf("vrmu: out-of-order commit against rollback queue: committed seq %d, oldest in-flight seq %d (%d queued)",
+			seq, q.entries[0].Seq, len(q.entries)))
 	}
 	q.entries = q.entries[1:]
 }
