@@ -6,6 +6,7 @@
 //	virec-experiments -list
 //	virec-experiments -exp fig12
 //	virec-experiments -exp all -quick
+//	virec-experiments -exp all -parallel 8
 package main
 
 import (
@@ -13,17 +14,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/virec/virec/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment to run (or 'all')")
-		list   = flag.Bool("list", false, "list available experiments")
-		quick  = flag.Bool("quick", false, "smaller sweeps for a fast run")
-		iters  = flag.Int("iters", 0, "override per-thread iteration count")
-		format = flag.String("format", "text", "output format: text|csv|json")
+		exp      = flag.String("exp", "", "experiment to run (or 'all')")
+		list     = flag.Bool("list", false, "list available experiments")
+		quick    = flag.Bool("quick", false, "smaller sweeps for a fast run")
+		iters    = flag.Int("iters", 0, "override per-thread iteration count")
+		format   = flag.String("format", "text", "output format: text|csv|json")
+		parallel = flag.Int("parallel", 0, "sweep workers: 0 = all CPUs, 1 = serial (output is identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,7 +44,35 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Iters: *iters}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "virec-experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "virec-experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "virec-experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "virec-experiments:", err)
+			}
+		}()
+	}
+
+	opt := experiments.Options{Quick: *quick, Iters: *iters, Parallel: *parallel}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = experiments.Names()

@@ -1,10 +1,13 @@
 // Command virec-sim runs a single near-memory simulation and prints its
-// statistics.
+// statistics. With -seeds N it becomes a multi-seed soak run: the same
+// configuration is simulated N times under different data seeds, fanned
+// across -parallel workers, with a per-seed summary table.
 //
 // Usage:
 //
 //	virec-sim -workload gather -kind virec -threads 8 -ctx 60
 //	virec-sim -workload spmv -kind banked -cores 4
+//	virec-sim -workload gather -seeds 16 -parallel 0
 //	virec-sim -list
 package main
 
@@ -17,6 +20,7 @@ import (
 	"github.com/virec/virec/internal/harden"
 	"github.com/virec/virec/internal/sim"
 	"github.com/virec/virec/internal/stats"
+	"github.com/virec/virec/internal/sweep"
 	"github.com/virec/virec/internal/vrmu"
 	"github.com/virec/virec/internal/workloads"
 )
@@ -40,6 +44,9 @@ func main() {
 		faultPlan = flag.String("fault-plan", "all", "named fault schedule: jitter|busy|storm|all")
 		watchdog  = flag.Uint64("watchdog", 0, "livelock watchdog window in cycles (0 disables)")
 		checkEv   = flag.Uint64("check-every", 0, "run the invariant sweep every N cycles (0 = final sweep only)")
+		seed      = flag.Uint64("seed", 0, "base data seed (0 = built-in default)")
+		seeds     = flag.Int("seeds", 1, "number of seeds to soak: N > 1 runs the config once per seed")
+		parallel  = flag.Int("parallel", 0, "soak-run sweep workers: 0 = all CPUs, 1 = serial")
 	)
 	flag.Parse()
 
@@ -74,6 +81,7 @@ func main() {
 		ThreadsPerCore:   *threads,
 		Workload:         w,
 		Iters:            *iters,
+		Seed:             *seed,
 		ContextPct:       *ctx,
 		PhysRegs:         *physRegs,
 		Policy:           pol,
@@ -94,6 +102,16 @@ func main() {
 		}
 		cfg.Harden.Plan = plan
 	}
+
+	if *seeds > 1 {
+		if *trace != "" {
+			fmt.Fprintln(os.Stderr, "virec-sim: -trace is a single-run flag; drop it or use -seeds 1")
+			os.Exit(2)
+		}
+		soak(cfg, *seeds, *parallel, kind, w)
+		return
+	}
+
 	system, err := sim.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "virec-sim:", err)
@@ -154,4 +172,51 @@ func main() {
 			res.DRAMStats.RowHits, res.DRAMStats.RowMisses, res.DRAMStats.RowConflicts)
 	}
 	fmt.Println("verification: all threads match the golden model")
+}
+
+// soak runs the configuration once per seed across a sweep pool and
+// prints a per-seed summary. Each run carries full value validation (when
+// enabled) and the invariant sweep, so this is the CLI's stress mode:
+// many deterministic runs over different data, in parallel.
+func soak(cfg sim.Config, n, workers int, kind sim.CoreKind, w *workloads.Spec) {
+	base := cfg.Seed
+	if base == 0 {
+		base = 0x9e3779b97f4a7c15 // the sim package's default seed
+	}
+	cfgs := make([]sim.Config, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = base + uint64(i)
+	}
+	results, err := sweep.Sims(sweep.New(workers), cfgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virec-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s: %d seeds x %d cores x %d threads x %d iters\n",
+		kind, w.Name, n, cfgs[0].Cores, cfg.ThreadsPerCore, cfg.Iters)
+	t := stats.NewTable("seed", "cycles", "insts", "ipc", "switches", "rf_hit%")
+	var minC, maxC uint64
+	for i, res := range results {
+		switches := uint64(0)
+		for _, cs := range res.CoreStats {
+			switches += cs.ContextSwitches
+		}
+		rfHit := float64(100)
+		if len(res.TagStats) > 0 {
+			rfHit = 100 * res.TagStats[0].HitRate()
+		}
+		t.AddRow(fmt.Sprintf("%#x", cfgs[i].Seed), res.Cycles, res.Insts, res.IPC, switches, rfHit)
+		if i == 0 || res.Cycles < minC {
+			minC = res.Cycles
+		}
+		if i == 0 || res.Cycles > maxC {
+			maxC = res.Cycles
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Printf("cycle spread: min %d, max %d (%.2f%%)\n",
+		minC, maxC, 100*float64(maxC-minC)/float64(minC))
+	fmt.Println("verification: all seeds match the golden model")
 }

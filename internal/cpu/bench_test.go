@@ -1,0 +1,33 @@
+package cpu_test
+
+import (
+	"testing"
+)
+
+// benchTick drives the full core + cache + lower-level tick loop on the
+// gather workload and reports per-simulated-cycle cost. This is the
+// simulator's end-to-end hot path: decode operand gathering, provider
+// acquire, dcache access and the context-switch logic all run every
+// iteration, so allocation regressions on any of them show up here.
+func benchTick(b *testing.B, kind providerKind, realDRAM bool) {
+	b.ReportAllocs()
+	cycles := uint64(0)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := newRig(kind, rigOpt{threads: 4, physRegs: 32, realDRAM: realDRAM})
+		setupGather(r, 4, 64)
+		r.load(gatherProg(), 0, 1, 2, 3)
+		b.StartTimer()
+		if !r.run(10000000) {
+			b.Fatal("did not finish")
+		}
+		cycles += r.core.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+}
+
+func BenchmarkCoreTick(b *testing.B) {
+	b.Run("banked", func(b *testing.B) { benchTick(b, pBanked, false) })
+	b.Run("virec", func(b *testing.B) { benchTick(b, pViReC, false) })
+	b.Run("virec-dram", func(b *testing.B) { benchTick(b, pViReC, true) })
+}

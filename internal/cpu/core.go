@@ -202,8 +202,11 @@ type Core struct {
 	cycle  uint64
 	halted int
 
-	scratchSrc []isa.Reg
-	scratchDst []isa.Reg
+	// Per-call scratch buffers, pre-sized so the decode/commit hot path
+	// never allocates; no provider retains the slices past its call.
+	scratchSrc  []isa.Reg
+	scratchDst  []isa.Reg
+	scratchNeed []isa.Reg
 
 	// Stats is exported read-only for reporting.
 	Stats Stats
@@ -245,6 +248,10 @@ func New(cfg Config, provider Provider, dcache mem.Device, memory *mem.Memory) *
 		memory:   memory,
 		threads:  make([]*Thread, cfg.Threads),
 		cur:      -1,
+
+		scratchSrc:  make([]isa.Reg, 0, 8),
+		scratchDst:  make([]isa.Reg, 0, 4),
+		scratchNeed: make([]isa.Reg, 0, 8),
 	}
 	for i := range c.threads {
 		c.threads[i] = &Thread{ID: i}
@@ -331,8 +338,8 @@ func (c *Core) commitStage() {
 	th := c.threads[f.thread]
 	if f.writesReg && in.Op != isa.NOP {
 		var rd isa.Reg
-		if len(in.DstRegs(c.scratchDst[:0])) > 0 {
-			rd = in.DstRegs(c.scratchDst[:0])[0]
+		if dsts := in.DstRegs(c.scratchDst[:0]); len(dsts) > 0 {
+			rd = dsts[0]
 		}
 		if rd != isa.XZR {
 			val := f.result
@@ -519,7 +526,7 @@ func (c *Core) redirect(target int) {
 // running thread, searching EX, MEM then WB. It returns the forwarded
 // value when available, or stall=true when the producer hasn't finished.
 func (c *Core) producerOf(r isa.Reg) (val uint64, found, stall bool) {
-	for _, f := range []*inflight{c.ex, c.mm, c.wb} {
+	for _, f := range [...]*inflight{c.ex, c.mm, c.wb} {
 		if f == nil || f.squashed {
 			continue
 		}
@@ -549,7 +556,7 @@ func (c *Core) producerOf(r isa.Reg) (val uint64, found, stall bool) {
 
 // flagsProducer finds in-flight flag state: (flags, found, stall).
 func (c *Core) flagsProducer() (isa.Flags, bool, bool) {
-	for _, f := range []*inflight{c.ex, c.mm, c.wb} {
+	for _, f := range [...]*inflight{c.ex, c.mm, c.wb} {
 		if f == nil || f.squashed || !f.in.SetsFlags() {
 			continue
 		}
@@ -579,8 +586,10 @@ func (c *Core) decodeStage() {
 	in := f.in
 
 	// Gather operand values: forwarding first, provider for the rest.
+	// At most four distinct sources exist, so dedupe by scanning the
+	// already-gathered entries instead of building a set.
 	srcs := in.SrcRegs(c.scratchSrc[:0])
-	var need []isa.Reg
+	need := c.scratchNeed[:0]
 	type pending struct {
 		reg isa.Reg
 		val uint64
@@ -588,12 +597,16 @@ func (c *Core) decodeStage() {
 	}
 	var got [4]pending
 	n := 0
-	seen := map[isa.Reg]bool{}
+srcLoop:
 	for _, r := range srcs {
-		if r == isa.XZR || seen[r] {
+		if r == isa.XZR {
 			continue
 		}
-		seen[r] = true
+		for i := 0; i < n; i++ {
+			if got[i].reg == r {
+				continue srcLoop
+			}
+		}
 		if n >= len(got) {
 			break
 		}
@@ -758,7 +771,7 @@ func (c *Core) issueFetch(s *fetchSlot) {
 
 // oldestInflight returns the oldest non-squashed in-flight instruction.
 func (c *Core) oldestInflight() *inflight {
-	for _, f := range []*inflight{c.wb, c.mm, c.ex, c.dec} {
+	for _, f := range [...]*inflight{c.wb, c.mm, c.ex, c.dec} {
 		if f != nil && !f.squashed {
 			return f
 		}
@@ -857,7 +870,7 @@ func (c *Core) flushPipeline(thread int) {
 	replayPC := -1
 	// Scan oldest (WB) to youngest (decode): the replay point is the
 	// oldest squashed instruction of the thread.
-	for _, f := range []*inflight{c.wb, c.mm, c.ex, c.dec} {
+	for _, f := range [...]*inflight{c.wb, c.mm, c.ex, c.dec} {
 		if f != nil && !f.squashed {
 			f.squashed = true
 			if f.thread == thread && replayPC < 0 {

@@ -86,17 +86,21 @@ type ViReC struct {
 	// pending tracks fills in flight: (thread,reg) -> physical slot.
 	pending map[regKey]int
 	// pendingPhys marks physical slots with fills in flight (never
-	// eviction victims).
-	pendingPhys map[int]bool
+	// eviction victims); a dense bitmap indexed by physical register.
+	pendingPhys []bool
 	// superseded marks in-flight fills whose value was overwritten at
 	// commit before the fill landed; the fill completes without
 	// installing its stale value.
 	superseded map[regKey]bool
 	// lockedPhys holds the registers of the instruction currently in
-	// decode; they are exempt from eviction.
-	lockedPhys   map[int]bool
+	// decode; they are exempt from eviction. Dense bitmap like
+	// pendingPhys.
+	lockedPhys   []bool
 	lockedInst   *isa.Inst
 	lockedThread int
+	// excluded is the victim-exclusion predicate handed to SelectVictim,
+	// built once so the decode hot path allocates nothing.
+	excluded func(int) bool
 
 	// sysBuf is the system-register ping-pong buffer of Section 5.2.
 	sysBuf [2]sysSlot
@@ -138,10 +142,11 @@ func NewViReC(cfg ViReCConfig, threads int, dcache mem.Device, memory *mem.Memor
 		sysBsi:      newBSI(dcache, true),
 		pfBsi:       newBSI(dcache, true),
 		pending:     make(map[regKey]int),
-		pendingPhys: make(map[int]bool),
+		pendingPhys: make([]bool, cfg.PhysRegs),
 		superseded:  make(map[regKey]bool),
-		lockedPhys:  make(map[int]bool),
+		lockedPhys:  make([]bool, cfg.PhysRegs),
 	}
+	p.excluded = func(i int) bool { return p.lockedPhys[i] || p.pendingPhys[i] }
 	p.sysBuf[0].thread = -1
 	p.sysBuf[1].thread = -1
 	p.prefetchRegs = make([][]isa.Reg, threads)
@@ -227,20 +232,15 @@ func (p *ViReC) lockIfPresent(thread int, r isa.Reg) {
 	}
 }
 
-// victimSet returns the union of decode-locked and fill-pending physical
-// slots, which must not be evicted.
-func (p *ViReC) victimExclusions() map[int]bool {
-	if len(p.pendingPhys) == 0 {
-		return p.lockedPhys
+// countTrue reports the population of a dense bitmap (diagnostics only).
+func countTrue(bits []bool) int {
+	n := 0
+	for _, b := range bits {
+		if b {
+			n++
+		}
 	}
-	ex := make(map[int]bool, len(p.lockedPhys)+len(p.pendingPhys))
-	for k := range p.lockedPhys {
-		ex[k] = true
-	}
-	for k := range p.pendingPhys {
-		ex[k] = true
-	}
-	return ex
+	return n
 }
 
 // allocate selects a victim, spills it, and installs (thread,reg) in its
@@ -249,7 +249,7 @@ func (p *ViReC) victimExclusions() map[int]bool {
 // alongside it: their spill writes land in the same (pinned) backing
 // line, and the freed slots absorb the next misses without evictions.
 func (p *ViReC) allocate(thread int, r isa.Reg) int {
-	phys := p.tags.SelectVictim(p.victimExclusions())
+	phys := p.tags.SelectVictim(p.excluded)
 	if phys < 0 {
 		return -1
 	}
@@ -264,9 +264,8 @@ func (p *ViReC) allocate(thread int, r isa.Reg) int {
 		p.spill(victim)
 	}
 	if len(group) > 0 {
-		ex := p.victimExclusions()
 		for _, sib := range group {
-			if ex[sib] {
+			if p.excluded(sib) {
 				continue
 			}
 			e := p.tags.Entry(sib)
@@ -307,7 +306,7 @@ func (p *ViReC) startFill(thread int, r isa.Reg, phys int) {
 		addr: addr,
 		kind: mem.Read,
 		onDone: func(uint64) {
-			delete(p.pendingPhys, phys)
+			p.pendingPhys[phys] = false
 			if p.superseded[key] {
 				delete(p.superseded, key)
 				delete(p.pending, key)
@@ -631,7 +630,7 @@ func (p *ViReC) prefetchThread(thread int) {
 		if _, filling := p.pending[key]; filling {
 			continue
 		}
-		phys := p.tags.SelectVictim(p.victimExclusions())
+		phys := p.tags.SelectVictim(p.excluded)
 		if phys < 0 {
 			return
 		}
@@ -651,7 +650,7 @@ func (p *ViReC) prefetchThread(thread int) {
 			addr: addr,
 			kind: mem.Read,
 			onDone: func(uint64) {
-				delete(p.pendingPhys, phys)
+				p.pendingPhys[phys] = false
 				if p.superseded[key] {
 					delete(p.superseded, key)
 					delete(p.pending, key)
@@ -704,7 +703,7 @@ func (p *ViReC) Tick(cycle uint64) {
 // DebugState returns a snapshot of internal queue sizes for diagnostics.
 func (p *ViReC) DebugState() string {
 	return fmt.Sprintf("pending=%d pendingPhys=%d superseded=%d locked=%d bsiOut=%d loads=%d stores=%d sys=[%+v %+v]",
-		len(p.pending), len(p.pendingPhys), len(p.superseded), len(p.lockedPhys),
+		len(p.pending), countTrue(p.pendingPhys), len(p.superseded), countTrue(p.lockedPhys),
 		p.bsi.outstanding, len(p.bsi.loads), len(p.bsi.stores), p.sysBuf[0], p.sysBuf[1])
 }
 
@@ -755,8 +754,8 @@ func (p *ViReC) CheckInvariants() string {
 				key.thread, key.reg, phys, idx)
 		}
 	}
-	if len(p.pendingPhys) > p.tags.Size() {
-		return fmt.Sprintf("%d fill-busy slots exceed %d physical registers", len(p.pendingPhys), p.tags.Size())
+	if n := countTrue(p.pendingPhys); n > p.tags.Size() {
+		return fmt.Sprintf("%d fill-busy slots exceed %d physical registers", n, p.tags.Size())
 	}
 	return ""
 }

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/virec/virec/internal/sim"
 	"github.com/virec/virec/internal/stats"
+	"github.com/virec/virec/internal/sweep"
 )
 
 // Options tunes experiment size. Quick shrinks iteration counts and sweep
@@ -19,6 +21,37 @@ import (
 type Options struct {
 	Iters int  // per-thread inner iterations (0 = default per experiment)
 	Quick bool // smaller sweeps for fast runs
+
+	// Parallel is the number of sweep workers simulations fan out over:
+	// 1 runs everything serially inline, 0 or negative uses all CPUs.
+	// Results are byte-identical at any setting (see internal/sweep).
+	Parallel int
+}
+
+// engine returns the sweep engine the Parallel setting selects.
+func (o Options) engine() sweep.Engine {
+	if o.Parallel == 1 {
+		return sweep.Serial
+	}
+	return sweep.New(o.Parallel)
+}
+
+// batch queues simulation configs so an experiment can declare every run
+// up front, execute them in one parallel sweep, and then reduce results
+// in the same order a serial loop would have produced them.
+type batch struct {
+	cfgs []sim.Config
+}
+
+// add enqueues a config and returns its job index into run's results.
+func (b *batch) add(cfg sim.Config) int {
+	b.cfgs = append(b.cfgs, cfg)
+	return len(b.cfgs) - 1
+}
+
+// run executes every queued sim with opt's engine.
+func (b *batch) run(opt Options) ([]*sim.Result, error) {
+	return sweep.Sims(opt.engine(), b.cfgs)
 }
 
 // Report is the output of one experiment.

@@ -22,43 +22,47 @@ func extensions(opt Options) (*Report, error) {
 		pcts = []int{40, 80}
 	}
 
-	run := func(pct int, vc regfile.ViReCConfig) (float64, error) {
-		var perfs []float64
-		for _, w := range wls {
-			res, err := sim.Simulate(sim.Config{
-				Kind: sim.ViReC, ThreadsPerCore: 8,
-				Workload: w, Iters: iters,
-				ContextPct: pct, Policy: vrmu.LRC,
-				ViReCOpts: vc,
-			})
-			if err != nil {
-				return 0, err
+	variants := []regfile.ViReCConfig{
+		{},
+		{GroupEvict: true},
+		{PrefetchNext: true},
+		{GroupEvict: true, PrefetchNext: true},
+	}
+
+	var jobs batch
+	for _, pct := range pcts {
+		for _, vc := range variants {
+			for _, w := range wls {
+				jobs.add(sim.Config{
+					Kind: sim.ViReC, ThreadsPerCore: 8,
+					Workload: w, Iters: iters,
+					ContextPct: pct, Policy: vrmu.LRC,
+					ViReCOpts: vc,
+				})
 			}
-			perfs = append(perfs, perfOf(8*iters, res.Cycles, 1.0))
 		}
-		return stats.GeoMean(perfs), nil
+	}
+	results, err := jobs.run(opt)
+	if err != nil {
+		return nil, err
+	}
+	geo := func(cell int) float64 {
+		var perfs []float64
+		for i := range wls {
+			perfs = append(perfs, perfOf(8*iters, results[cell*len(wls)+i].Cycles, 1.0))
+		}
+		return stats.GeoMean(perfs)
 	}
 
 	table := stats.NewTable("ctx%", "base_lrc", "group_evict", "prefetch_next", "both")
 	var worstBoth, bestBoth float64 = 2, 0
-	for _, pct := range pcts {
-		base, err := run(pct, regfile.ViReCConfig{})
-		if err != nil {
-			return nil, err
-		}
-		group, err := run(pct, regfile.ViReCConfig{GroupEvict: true})
-		if err != nil {
-			return nil, err
-		}
-		pf, err := run(pct, regfile.ViReCConfig{PrefetchNext: true})
-		if err != nil {
-			return nil, err
-		}
-		both, err := run(pct, regfile.ViReCConfig{GroupEvict: true, PrefetchNext: true})
-		if err != nil {
-			return nil, err
-		}
-		table.AddRow(pct, 1.0, group/base, pf/base, both/base)
+	for pi := range pcts {
+		cell := pi * len(variants)
+		base := geo(cell)
+		group := geo(cell + 1)
+		pf := geo(cell + 2)
+		both := geo(cell + 3)
+		table.AddRow(pcts[pi], 1.0, group/base, pf/base, both/base)
 		if both/base < worstBoth {
 			worstBoth = both / base
 		}

@@ -40,16 +40,56 @@ func fig1(opt Options) (*Report, error) {
 	}
 	var points []point
 
+	// Every cycle-level sim rides one sweep; only the trace-driven OoO
+	// model runs inline (it is not a sim.Config job).
+	var jobs batch
+
 	// Single in-order core, one thread (the gray point).
-	inoRes, err := sim.Simulate(sim.Config{
+	ino := jobs.add(sim.Config{
 		Kind: sim.Banked, Cores: 1, ThreadsPerCore: 1,
 		Workload: w, Iters: iters,
 	})
+	// Eight near-memory in-order cores, one thread each.
+	multi := jobs.add(sim.Config{
+		Kind: sim.Banked, Cores: 8, ThreadsPerCore: 1,
+		Workload: w, Iters: iters,
+	})
+	// Banked cores: 256 registers = 4 banks/threads, 512 = 8.
+	bankedThreads := []int{4, 8}
+	bankedJobs := make([]int, len(bankedThreads))
+	for i, threads := range bankedThreads {
+		bankedJobs[i] = jobs.add(sim.Config{
+			Kind: sim.Banked, ThreadsPerCore: threads,
+			Workload: w, Iters: iters,
+		})
+	}
+	// ViReC sweep: 40-100% context at 4 and 8 threads.
+	pcts := []int{40, 60, 80, 100}
+	if opt.Quick {
+		pcts = []int{40, 100}
+	}
+	type virecPoint struct {
+		threads, pct, regs, job int
+	}
+	var virecJobs []virecPoint
+	for _, threads := range []int{4, 8} {
+		for _, pct := range pcts {
+			cfg := sim.Config{
+				Kind: sim.ViReC, ThreadsPerCore: threads,
+				Workload: w, Iters: iters,
+				ContextPct: pct, Policy: vrmu.LRC,
+			}
+			virecJobs = append(virecJobs, virecPoint{threads, pct, cfg.PhysRegsFor(), jobs.add(cfg)})
+		}
+	}
+
+	results, err := jobs.run(opt)
 	if err != nil {
 		return nil, err
 	}
+
 	points = append(points, point{"InO", 1,
-		perfOf(iters, inoRes.Cycles, 1.0), m.InOCore()})
+		perfOf(iters, results[ino].Cycles, 1.0), m.InOCore()})
 
 	// OoO core (N1-like, 2 GHz), one thread, trace-driven model.
 	memory := mem.NewMemory()
@@ -60,52 +100,20 @@ func fig1(opt Options) (*Report, error) {
 	points = append(points, point{"OoO", 1,
 		perfOf(iters, oooRes.Cycles, 2.0), m.OoOCore()})
 
-	// Eight near-memory in-order cores, one thread each.
-	multiRes, err := sim.Simulate(sim.Config{
-		Kind: sim.Banked, Cores: 8, ThreadsPerCore: 1,
-		Workload: w, Iters: iters,
-	})
-	if err != nil {
-		return nil, err
-	}
 	points = append(points, point{"8xInO", 8,
-		perfOf(8*iters, multiRes.Cycles, 1.0), area.MultiCore(m.InOCore(), 8)})
+		perfOf(8*iters, results[multi].Cycles, 1.0), area.MultiCore(m.InOCore(), 8)})
 
-	// Banked cores: 256 registers = 4 banks/threads, 512 = 8.
-	for _, threads := range []int{4, 8} {
-		res, err := sim.Simulate(sim.Config{
-			Kind: sim.Banked, ThreadsPerCore: threads,
-			Workload: w, Iters: iters,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, threads := range bankedThreads {
 		points = append(points, point{
 			"banked-" + strconv.Itoa(threads*64), threads,
-			perfOf(threads*iters, res.Cycles, 1.0), m.BankedCore(threads)})
+			perfOf(threads*iters, results[bankedJobs[i]].Cycles, 1.0), m.BankedCore(threads)})
 	}
 
-	// ViReC sweep: 40-100% context at 4 and 8 threads.
-	pcts := []int{40, 60, 80, 100}
-	if opt.Quick {
-		pcts = []int{40, 100}
-	}
-	for _, threads := range []int{4, 8} {
-		for _, pct := range pcts {
-			cfg := sim.Config{
-				Kind: sim.ViReC, ThreadsPerCore: threads,
-				Workload: w, Iters: iters,
-				ContextPct: pct, Policy: vrmu.LRC,
-			}
-			res, err := sim.Simulate(cfg)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, point{
-				"virec-" + strconv.Itoa(pct) + "pct", threads,
-				perfOf(threads*iters, res.Cycles, 1.0),
-				m.ViReCCore(cfg.PhysRegsFor())})
-		}
+	for _, vp := range virecJobs {
+		points = append(points, point{
+			"virec-" + strconv.Itoa(vp.pct) + "pct", vp.threads,
+			perfOf(vp.threads*iters, results[vp.job].Cycles, 1.0),
+			m.ViReCCore(vp.regs)})
 	}
 
 	base := points[0].perf

@@ -29,20 +29,22 @@ func fig10(opt Options) (*Report, error) {
 	table := stats.NewTable("config", "threads", "registers", "perf(iters/us)", "perf_per_reg")
 	rep := &Report{}
 
+	var jobs batch
+	type row struct {
+		name    string
+		threads int
+		regs    int
+		job     int
+	}
+	var rows []row
 	for _, threads := range threadCounts {
 		// Banked point (32 architectural registers per thread), limited
 		// to 8 hardware banks as in Table 1.
 		if threads <= 8 {
-			res, err := sim.Simulate(sim.Config{
+			rows = append(rows, row{"banked", threads, threads * 32, jobs.add(sim.Config{
 				Kind: sim.Banked, ThreadsPerCore: threads,
 				Workload: w, Iters: iters,
-			})
-			if err != nil {
-				return nil, err
-			}
-			regs := threads * 32
-			perf := perfOf(threads*iters, res.Cycles, 1.0)
-			table.AddRow("banked", threads, regs, perf, perf/float64(regs))
+			})})
 		}
 		for _, pct := range pcts {
 			cfg := sim.Config{
@@ -50,54 +52,49 @@ func fig10(opt Options) (*Report, error) {
 				Workload: w, Iters: iters,
 				ContextPct: pct, Policy: vrmu.LRC,
 			}
-			res, err := sim.Simulate(cfg)
-			if err != nil {
-				return nil, err
-			}
-			regs := cfg.PhysRegsFor()
-			perf := perfOf(threads*iters, res.Cycles, 1.0)
-			table.AddRow("virec-"+strconv.Itoa(pct)+"pct", threads, regs, perf, perf/float64(regs))
+			rows = append(rows, row{"virec-" + strconv.Itoa(pct) + "pct",
+				threads, cfg.PhysRegsFor(), jobs.add(cfg)})
 		}
 	}
-	rep.Tables = append(rep.Tables, table)
 
 	// The paper's thread-scaling claim: while memory latency is not yet
 	// hidden, a fixed register budget is better spent on more threads at
 	// smaller context; once latency is hidden, on fewer threads at full
-	// context. Evaluate the same budget at both margins.
+	// context. Evaluate the same budget at both margins, riding the same
+	// sweep as the main table.
 	active := len(w.ActiveRegs())
-	fixedBudget := func(budget, loThreads, hiThreads int) (float64, error) {
-		lo, err := sim.Simulate(sim.Config{
-			Kind: sim.ViReC, ThreadsPerCore: loThreads, Workload: w,
+	budgetCfg := func(budget, threads int) sim.Config {
+		return sim.Config{
+			Kind: sim.ViReC, ThreadsPerCore: threads, Workload: w,
 			Iters: iters, PhysRegs: budget, Policy: vrmu.LRC,
-		})
-		if err != nil {
-			return 0, err
 		}
-		hi, err := sim.Simulate(sim.Config{
-			Kind: sim.ViReC, ThreadsPerCore: hiThreads, Workload: w,
-			Iters: iters, PhysRegs: budget, Policy: vrmu.LRC,
-		})
-		if err != nil {
-			return 0, err
-		}
-		return perfOf(hiThreads*iters, hi.Cycles, 1.0) /
-			perfOf(loThreads*iters, lo.Cycles, 1.0), nil
 	}
 	// Uncovered margin in this system: 1 -> 2 threads.
 	smallBudget := active
 	if smallBudget < 8 {
 		smallBudget = 8 // ViReC's minimum physical register file
 	}
-	up, err := fixedBudget(smallBudget, 1, 2)
-	if err != nil {
-		return nil, err
-	}
+	upLo := jobs.add(budgetCfg(smallBudget, 1))
+	upHi := jobs.add(budgetCfg(smallBudget, 2))
 	// Covered margin: 4 -> 8 threads.
-	down, err := fixedBudget(4*active, 4, 8)
+	downLo := jobs.add(budgetCfg(4*active, 4))
+	downHi := jobs.add(budgetCfg(4*active, 8))
+
+	results, err := jobs.run(opt)
 	if err != nil {
 		return nil, err
 	}
+
+	for _, r := range rows {
+		perf := perfOf(r.threads*iters, results[r.job].Cycles, 1.0)
+		table.AddRow(r.name, r.threads, r.regs, perf, perf/float64(r.regs))
+	}
+	rep.Tables = append(rep.Tables, table)
+
+	up := perfOf(2*iters, results[upHi].Cycles, 1.0) /
+		perfOf(1*iters, results[upLo].Cycles, 1.0)
+	down := perfOf(8*iters, results[downHi].Cycles, 1.0) /
+		perfOf(4*iters, results[downLo].Cycles, 1.0)
 	rep.notef("fixed %d-register budget while latency is uncovered: 2 threads @~50%% ctx "+
 		"vs 1 thread @100%% = %.2fx (more threads win, as in the paper)", smallBudget, up)
 	rep.notef("fixed %d-register budget once latency is hidden: 8 threads @~50%% ctx "+

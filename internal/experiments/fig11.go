@@ -27,21 +27,28 @@ func fig11(opt Options) (*Report, error) {
 	type cell struct{ perf, lat float64 }
 	results := map[[2]int]cell{}
 
+	var jobs batch
+	type point struct{ cores, threads, job int }
+	var points []point
 	for _, cores := range coreCounts {
 		for _, threads := range []int{8, 10} {
-			res, err := sim.Simulate(sim.Config{
+			points = append(points, point{cores, threads, jobs.add(sim.Config{
 				Kind: sim.ViReC, Cores: cores, ThreadsPerCore: threads,
 				Workload: w, Iters: iters,
 				ContextPct: 60, Policy: vrmu.LRC,
-			})
-			if err != nil {
-				return nil, err
-			}
-			total := perfOf(cores*threads*iters, res.Cycles, 1.0)
-			lat := res.DRAMStats.AvgReadLatency()
-			results[[2]int{cores, threads}] = cell{perf: total / float64(cores), lat: lat}
-			table.AddRow(cores, threads, total/float64(cores), lat, total)
+			})})
 		}
+	}
+	sims, err := jobs.run(opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		res := sims[p.job]
+		total := perfOf(p.cores*p.threads*iters, res.Cycles, 1.0)
+		lat := res.DRAMStats.AvgReadLatency()
+		results[[2]int{p.cores, p.threads}] = cell{perf: total / float64(p.cores), lat: lat}
+		table.AddRow(p.cores, p.threads, total/float64(p.cores), lat, total)
 	}
 	rep.Tables = append(rep.Tables, table)
 

@@ -33,18 +33,30 @@ func fig12(opt Options) (*Report, error) {
 	hits := map[key][]float64{}
 	perfs := map[key][]float64{}
 
+	var jobs batch
 	for _, w := range wls {
 		for _, pct := range pcts {
-			row := []any{w.Name, pct}
 			for _, pol := range policies {
-				res, err := sim.Simulate(sim.Config{
+				jobs.add(sim.Config{
 					Kind: sim.ViReC, ThreadsPerCore: 8,
 					Workload: w, Iters: iters,
 					ContextPct: pct, Policy: pol,
 				})
-				if err != nil {
-					return nil, err
-				}
+			}
+		}
+	}
+	results, err := jobs.run(opt)
+	if err != nil {
+		return nil, err
+	}
+
+	job := 0
+	for _, w := range wls {
+		for _, pct := range pcts {
+			row := []any{w.Name, pct}
+			for _, pol := range policies {
+				res := results[job]
+				job++
 				hr := res.TagStats[0].HitRate()
 				row = append(row, hr)
 				k := key{pct, pol}

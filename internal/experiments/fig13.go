@@ -23,34 +23,48 @@ func fig13(opt Options) (*Report, error) {
 
 	rep := &Report{}
 
-	geoIPC := func(kind sim.CoreKind, hitLat, capKB int) (float64, error) {
-		var ipcs []float64
+	// Each table cell is a geomean of IPC over the workloads; queue every
+	// (kind, latency, capacity, workload) run into one sweep and reduce
+	// per-cell afterwards.
+	var jobs batch
+	queueGeo := func(kind sim.CoreKind, hitLat, capKB int) []int {
+		idx := make([]int, 0, len(wls))
 		for _, w := range wls {
-			res, err := sim.Simulate(sim.Config{
+			idx = append(idx, jobs.add(sim.Config{
 				Kind: kind, ThreadsPerCore: 8,
 				Workload: w, Iters: iters,
 				ContextPct: 80, Policy: vrmu.LRC,
 				DCacheHitLatency: hitLat,
 				DCacheBytes:      capKB * 1024,
-			})
-			if err != nil {
-				return 0, err
-			}
-			ipcs = append(ipcs, res.IPC)
+			}))
 		}
-		return stats.GeoMean(ipcs), nil
+		return idx
+	}
+	type pair struct{ banked, virec []int }
+	latJobs := make([]pair, len(latencies))
+	for i, lat := range latencies {
+		latJobs[i] = pair{queueGeo(sim.Banked, lat, 8), queueGeo(sim.ViReC, lat, 8)}
+	}
+	capJobs := make([]pair, len(capacities))
+	for i, capKB := range capacities {
+		capJobs[i] = pair{queueGeo(sim.Banked, 2, capKB), queueGeo(sim.ViReC, 2, capKB)}
+	}
+
+	results, err := jobs.run(opt)
+	if err != nil {
+		return nil, err
+	}
+	geoIPC := func(idx []int) float64 {
+		var ipcs []float64
+		for _, j := range idx {
+			ipcs = append(ipcs, results[j].IPC)
+		}
+		return stats.GeoMean(ipcs)
 	}
 
 	latTable := stats.NewTable("dcache_latency", "banked_ipc", "virec_ipc", "virec/banked")
-	for _, lat := range latencies {
-		b, err := geoIPC(sim.Banked, lat, 8)
-		if err != nil {
-			return nil, err
-		}
-		v, err := geoIPC(sim.ViReC, lat, 8)
-		if err != nil {
-			return nil, err
-		}
+	for i, lat := range latencies {
+		b, v := geoIPC(latJobs[i].banked), geoIPC(latJobs[i].virec)
 		latTable.AddRow(lat, b, v, v/b)
 	}
 	rep.Tables = append(rep.Tables, latTable)
@@ -58,14 +72,7 @@ func fig13(opt Options) (*Report, error) {
 	capTable := stats.NewTable("dcache_kb", "banked_ipc", "virec_ipc", "virec/banked")
 	var firstRatio, lastRatio float64
 	for i, capKB := range capacities {
-		b, err := geoIPC(sim.Banked, 2, capKB)
-		if err != nil {
-			return nil, err
-		}
-		v, err := geoIPC(sim.ViReC, 2, capKB)
-		if err != nil {
-			return nil, err
-		}
+		b, v := geoIPC(capJobs[i].banked), geoIPC(capJobs[i].virec)
 		capTable.AddRow(capKB, b, v, v/b)
 		if i == 0 {
 			firstRatio = v / b

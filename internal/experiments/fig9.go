@@ -40,6 +40,49 @@ func fig9(opt Options) (*Report, error) {
 		"virec40", "virec60", "virec80", "pf_full", "pf_exact")
 	rep := &Report{}
 
+	cols := []struct {
+		name string
+		kind sim.CoreKind
+		pct  int
+	}{
+		{"virec40", sim.ViReC, 40},
+		{"virec60", sim.ViReC, 60},
+		{"virec80", sim.ViReC, 80},
+		{"pf_full", sim.PrefetchFull, 0},
+		{"pf_exact", sim.PrefetchExact, 0},
+	}
+
+	// Declare every run up front, fan them out, then reduce in order.
+	var jobs batch
+	type cell struct {
+		w       *workloads.Spec
+		threads int
+		banked  int   // job index of the banked baseline
+		runs    []int // job indices of the cols configs
+	}
+	var cells []cell
+	for _, w := range wls {
+		for _, threads := range threadCounts {
+			cl := cell{w: w, threads: threads}
+			cl.banked = jobs.add(sim.Config{
+				Kind: sim.Banked, ThreadsPerCore: threads,
+				Workload: w, Iters: iters, Policy: vrmu.LRC,
+			})
+			for _, c := range cols {
+				cl.runs = append(cl.runs, jobs.add(sim.Config{
+					Kind: c.kind, ThreadsPerCore: threads,
+					Workload: w, Iters: iters,
+					ContextPct: c.pct, Policy: vrmu.LRC,
+				}))
+			}
+			cells = append(cells, cl)
+		}
+	}
+	results, err := jobs.run(opt)
+	if err != nil {
+		return nil, err
+	}
+
 	// Collect normalized performance (to banked) for the mean rows.
 	type key struct {
 		threads int
@@ -47,46 +90,16 @@ func fig9(opt Options) (*Report, error) {
 	}
 	norm := map[key][]float64{}
 
-	for _, w := range wls {
-		for _, threads := range threadCounts {
-			run := func(kind sim.CoreKind, pct int) (float64, error) {
-				res, err := sim.Simulate(sim.Config{
-					Kind: kind, ThreadsPerCore: threads,
-					Workload: w, Iters: iters,
-					ContextPct: pct, Policy: vrmu.LRC,
-				})
-				if err != nil {
-					return 0, err
-				}
-				return perfOf(threads*iters, res.Cycles, 1.0), nil
-			}
-			banked, err := run(sim.Banked, 0)
-			if err != nil {
-				return nil, err
-			}
-			cols := []struct {
-				name string
-				kind sim.CoreKind
-				pct  int
-			}{
-				{"virec40", sim.ViReC, 40},
-				{"virec60", sim.ViReC, 60},
-				{"virec80", sim.ViReC, 80},
-				{"pf_full", sim.PrefetchFull, 0},
-				{"pf_exact", sim.PrefetchExact, 0},
-			}
-			row := []any{w.Name, threads, 1.0}
-			for _, c := range cols {
-				perf, err := run(c.kind, c.pct)
-				if err != nil {
-					return nil, err
-				}
-				rel := perf / banked
-				row = append(row, rel)
-				norm[key{threads, c.name}] = append(norm[key{threads, c.name}], rel)
-			}
-			table.AddRow(row...)
+	for _, cl := range cells {
+		banked := perfOf(cl.threads*iters, results[cl.banked].Cycles, 1.0)
+		row := []any{cl.w.Name, cl.threads, 1.0}
+		for i, c := range cols {
+			perf := perfOf(cl.threads*iters, results[cl.runs[i]].Cycles, 1.0)
+			rel := perf / banked
+			row = append(row, rel)
+			norm[key{cl.threads, c.name}] = append(norm[key{cl.threads, c.name}], rel)
 		}
+		table.AddRow(row...)
 	}
 	rep.Tables = append(rep.Tables, table)
 

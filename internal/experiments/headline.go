@@ -33,35 +33,12 @@ func headline(opt Options) (*Report, error) {
 	wls := fig9Workloads(opt.Quick)
 	rep := &Report{}
 
-	run := func(cfg sim.Config) (float64, error) {
-		var perfs []float64
-		for _, w := range wls {
-			c := cfg
-			c.Workload = w
-			c.Iters = iters
-			c.ThreadsPerCore = 8
-			res, err := sim.Simulate(c)
-			if err != nil {
-				return 0, err
-			}
-			perfs = append(perfs, perfOf(8*iters, res.Cycles, 1.0))
-		}
-		return stats.GeoMean(perfs), nil
-	}
-
-	banked, err := run(sim.Config{Kind: sim.Banked})
-	if err != nil {
-		return nil, err
-	}
-
-	table := stats.NewTable("config", "geomean_perf", "vs_banked")
-	table.AddRow("banked", banked, 1.0)
-
 	type cfgRow struct {
 		name string
 		cfg  sim.Config
 	}
 	rows := []cfgRow{
+		{"banked", sim.Config{Kind: sim.Banked}},
 		{"virec-100", sim.Config{Kind: sim.ViReC, ContextPct: 100, Policy: vrmu.LRC}},
 		{"virec-80", sim.Config{Kind: sim.ViReC, ContextPct: 80, Policy: vrmu.LRC}},
 		{"virec-60", sim.Config{Kind: sim.ViReC, ContextPct: 60, Policy: vrmu.LRC}},
@@ -71,12 +48,36 @@ func headline(opt Options) (*Report, error) {
 		{"prefetch-full", sim.Config{Kind: sim.PrefetchFull}},
 		{"prefetch-exact", sim.Config{Kind: sim.PrefetchExact}},
 	}
-	perf := map[string]float64{"banked": banked}
+
+	// One job per (config row, workload); each row reduces to a geomean.
+	var jobs batch
 	for _, r := range rows {
-		p, err := run(r.cfg)
-		if err != nil {
-			return nil, err
+		for _, w := range wls {
+			c := r.cfg
+			c.Workload = w
+			c.Iters = iters
+			c.ThreadsPerCore = 8
+			jobs.add(c)
 		}
+	}
+	results, err := jobs.run(opt)
+	if err != nil {
+		return nil, err
+	}
+	geo := func(row int) float64 {
+		var perfs []float64
+		for i := range wls {
+			perfs = append(perfs, perfOf(8*iters, results[row*len(wls)+i].Cycles, 1.0))
+		}
+		return stats.GeoMean(perfs)
+	}
+
+	banked := geo(0)
+	table := stats.NewTable("config", "geomean_perf", "vs_banked")
+	table.AddRow("banked", banked, 1.0)
+	perf := map[string]float64{"banked": banked}
+	for i, r := range rows[1:] {
+		p := geo(i + 1)
 		perf[r.name] = p
 		table.AddRow(r.name, p, p/banked)
 	}
@@ -106,45 +107,47 @@ func ablations(opt Options) (*Report, error) {
 	wls := fig9Workloads(opt.Quick)
 	rep := &Report{}
 
-	run := func(vc regfile.ViReCConfig, pinningOff bool) (float64, error) {
-		var perfs []float64
-		for _, w := range wls {
-			res, err := sim.Simulate(sim.Config{
-				Kind: sim.ViReC, ThreadsPerCore: 8,
-				Workload: w, Iters: iters,
-				ContextPct: 60, Policy: vrmu.LRC,
-				ViReCOpts: vc, PinningDisabled: pinningOff,
-			})
-			if err != nil {
-				return 0, err
-			}
-			perfs = append(perfs, perfOf(8*iters, res.Cycles, 1.0))
-		}
-		return stats.GeoMean(perfs), nil
-	}
-
-	baseline, err := run(regfile.ViReCConfig{}, false)
-	if err != nil {
-		return nil, err
-	}
-	table := stats.NewTable("ablation", "geomean_perf", "vs_full_virec")
-	table.AddRow("full virec (60% ctx)", baseline, 1.0)
 	cases := []struct {
 		name string
 		vc   regfile.ViReCConfig
 		pin  bool
 	}{
+		{"full virec (60% ctx)", regfile.ViReCConfig{}, false},
 		{"no rollback queue (stale C bits)", regfile.ViReCConfig{NoRollback: true}, false},
 		{"no dummy destinations", regfile.ViReCConfig{NoDummyDest: true}, false},
 		{"blocking BSI", regfile.ViReCConfig{BlockingBSI: true}, false},
 		{"no sysreg prefetch", regfile.ViReCConfig{NoSysregPrefetch: true}, false},
 		{"no register-line pinning", regfile.ViReCConfig{}, true},
 	}
+
+	var jobs batch
 	for _, c := range cases {
-		p, err := run(c.vc, c.pin)
-		if err != nil {
-			return nil, err
+		for _, w := range wls {
+			jobs.add(sim.Config{
+				Kind: sim.ViReC, ThreadsPerCore: 8,
+				Workload: w, Iters: iters,
+				ContextPct: 60, Policy: vrmu.LRC,
+				ViReCOpts: c.vc, PinningDisabled: c.pin,
+			})
 		}
+	}
+	results, err := jobs.run(opt)
+	if err != nil {
+		return nil, err
+	}
+	geo := func(row int) float64 {
+		var perfs []float64
+		for i := range wls {
+			perfs = append(perfs, perfOf(8*iters, results[row*len(wls)+i].Cycles, 1.0))
+		}
+		return stats.GeoMean(perfs)
+	}
+
+	baseline := geo(0)
+	table := stats.NewTable("ablation", "geomean_perf", "vs_full_virec")
+	table.AddRow(cases[0].name, baseline, 1.0)
+	for i, c := range cases[1:] {
+		p := geo(i + 1)
 		table.AddRow(c.name, p, p/baseline)
 	}
 	rep.Tables = append(rep.Tables, table)

@@ -37,31 +37,38 @@ func mixExp(opt Options) (*Report, error) {
 
 	table := stats.NewTable("config", "phys_regs", "cycles", "rel_perf", "rf_hit%")
 
-	banked, err := sim.Simulate(sim.Config{
+	var jobs batch
+	jobs.add(sim.Config{
 		Kind: sim.Banked, ThreadsPerCore: threads,
 		WorkloadMix: mix, Iters: iters,
 		ValidateValues: true,
 	})
-	if err != nil {
-		return nil, err
-	}
-	table.AddRow("banked", threads*32, banked.Cycles, 1.0, 100.0)
-
-	for _, frac := range []int{100, 75, 50} {
+	fracs := []int{100, 75, 50}
+	regsFor := func(frac int) int {
 		regs := demand * frac / 100
 		if regs < 8 {
 			regs = 8
 		}
-		res, err := sim.Simulate(sim.Config{
+		return regs
+	}
+	for _, frac := range fracs {
+		jobs.add(sim.Config{
 			Kind: sim.ViReC, ThreadsPerCore: threads,
 			WorkloadMix: mix, Iters: iters,
-			PhysRegs: regs, Policy: vrmu.LRC,
+			PhysRegs: regsFor(frac), Policy: vrmu.LRC,
 			ValidateValues: true,
 		})
-		if err != nil {
-			return nil, err
-		}
-		table.AddRow("virec-"+strconv.Itoa(frac)+"pct", regs, res.Cycles,
+	}
+	results, err := jobs.run(opt)
+	if err != nil {
+		return nil, err
+	}
+
+	banked := results[0]
+	table.AddRow("banked", threads*32, banked.Cycles, 1.0, 100.0)
+	for i, frac := range fracs {
+		res := results[i+1]
+		table.AddRow("virec-"+strconv.Itoa(frac)+"pct", regsFor(frac), res.Cycles,
 			float64(banked.Cycles)/float64(res.Cycles),
 			100*res.TagStats[0].HitRate())
 	}

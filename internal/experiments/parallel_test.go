@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelMatchesSerial is the experiment-level determinism contract:
+// running a sweep-shaped experiment with a worker pool must render the
+// exact same report, byte for byte, as the serial loop. fig9 covers the
+// multi-workload multi-config shape; mix covers WorkloadMix configs with
+// value validation enabled.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, name := range []string{"fig9", "mix"} {
+		t.Run(name, func(t *testing.T) {
+			serial, err := Run(name, Options{Quick: true, Iters: 16, Parallel: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := Run(name, Options{Quick: true, Iters: 16, Parallel: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, p := serial.String(), parallel.String()
+			if s != p {
+				t.Errorf("parallel report differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+			if cs, cp := serial.CSV(), parallel.CSV(); cs != cp {
+				t.Error("parallel CSV differs from serial")
+			}
+		})
+	}
+}
+
+// TestParallelDefaultEngine checks the Parallel knob's mapping: 0 uses
+// all CPUs, 1 is serial, N is N workers — all of which must produce the
+// same report.
+func TestParallelDefaultEngine(t *testing.T) {
+	base, err := Run("fig11", Options{Quick: true, Iters: 16, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 16} {
+		rep, err := Run("fig11", Options{Quick: true, Iters: 16, Parallel: workers})
+		if err != nil {
+			t.Fatalf("Parallel=%d: %v", workers, err)
+		}
+		if rep.String() != base.String() {
+			t.Errorf("Parallel=%d report differs from serial", workers)
+		}
+	}
+}

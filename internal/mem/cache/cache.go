@@ -9,7 +9,6 @@
 package cache
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/virec/virec/internal/mem"
@@ -85,23 +84,56 @@ type hitEvent struct {
 	req   *mem.Request
 }
 
+// hitHeap is a hand-rolled min-heap ordered by (cycle, seq). The stdlib
+// container/heap boxes every element into an interface value, which puts
+// one allocation on every cache hit — the single hottest event in the
+// simulator — so the sift routines are monomorphic here instead.
 type hitHeap []hitEvent
 
-func (h hitHeap) Len() int { return len(h) }
-func (h hitHeap) Less(i, j int) bool {
+func (h hitHeap) less(i, j int) bool {
 	if h[i].cycle != h[j].cycle {
 		return h[i].cycle < h[j].cycle
 	}
 	return h[i].seq < h[j].seq
 }
-func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *hitHeap) Push(x any)   { *h = append(*h, x.(hitEvent)) }
-func (h *hitHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *hitHeap) push(ev hitEvent) {
+	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *hitHeap) pop() hitEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = hitEvent{} // drop the *mem.Request reference for the GC
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // Cache is a set-associative write-back cache. It implements mem.Device.
@@ -194,7 +226,7 @@ func (c *Cache) Access(r *mem.Request) bool {
 			c.touchRegLine(ln, r)
 			c.Stats.Hits++
 			c.seq++
-			heap.Push(&c.pendingHits, hitEvent{
+			c.pendingHits.push(hitEvent{
 				cycle: c.now + uint64(c.cfg.HitLatency),
 				seq:   c.seq,
 				req:   r,
@@ -369,7 +401,7 @@ func (c *Cache) Tick(cycle uint64) {
 	c.now = cycle
 	c.acceptedNow = 0
 	for len(c.pendingHits) > 0 && c.pendingHits[0].cycle <= cycle {
-		ev := heap.Pop(&c.pendingHits).(hitEvent)
+		ev := c.pendingHits.pop()
 		ev.req.Complete(ev.cycle)
 	}
 	if len(c.fillRetryQ) > 0 {

@@ -1,7 +1,5 @@
 package mem
 
-import "container/heap"
-
 // DelayDevice is a memory device that completes every request after a
 // fixed latency with unlimited bandwidth. It stands in for the full DRAM
 // model in unit tests and latency-sensitivity experiments where queueing
@@ -25,29 +23,62 @@ type delayEvent struct {
 	req   *Request
 }
 
+// delayHeap is a hand-rolled min-heap ordered by (cycle, seq); seq is
+// unique so the order is total and pops are deterministic. Monomorphic
+// sift routines avoid the per-request interface boxing container/heap
+// would add — this device sits under every fixed-latency simulation.
 type delayHeap []delayEvent
 
-func (h delayHeap) Len() int { return len(h) }
-func (h delayHeap) Less(i, j int) bool {
+func (h delayHeap) less(i, j int) bool {
 	if h[i].cycle != h[j].cycle {
 		return h[i].cycle < h[j].cycle
 	}
 	return h[i].seq < h[j].seq
 }
-func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *delayHeap) Push(x any)   { *h = append(*h, x.(delayEvent)) }
-func (h *delayHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *delayHeap) push(ev delayEvent) {
+	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *delayHeap) pop() delayEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = delayEvent{} // drop the *Request reference for the GC
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // Access always accepts.
 func (d *DelayDevice) Access(r *Request) bool {
 	d.seq++
-	heap.Push(&d.pending, delayEvent{cycle: d.now + d.Latency, seq: d.seq, req: r})
+	d.pending.push(delayEvent{cycle: d.now + d.Latency, seq: d.seq, req: r})
 	return true
 }
 
@@ -55,7 +86,7 @@ func (d *DelayDevice) Access(r *Request) bool {
 func (d *DelayDevice) Tick(cycle uint64) {
 	d.now = cycle
 	for len(d.pending) > 0 && d.pending[0].cycle <= cycle {
-		ev := heap.Pop(&d.pending).(delayEvent)
+		ev := d.pending.pop()
 		ev.req.Complete(ev.cycle)
 	}
 }

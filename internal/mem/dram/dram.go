@@ -9,7 +9,6 @@
 package dram
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/virec/virec/internal/mem"
@@ -96,23 +95,56 @@ type completion struct {
 	start uint64
 }
 
+// completionHeap is a hand-rolled min-heap ordered by (cycle, seq); seq
+// is unique so the order is total and pops are deterministic. Monomorphic
+// sift routines avoid the per-request interface boxing container/heap
+// would add on this hot path.
 type completionHeap []completion
 
-func (h completionHeap) Len() int { return len(h) }
-func (h completionHeap) Less(i, j int) bool {
+func (h completionHeap) less(i, j int) bool {
 	if h[i].cycle != h[j].cycle {
 		return h[i].cycle < h[j].cycle
 	}
 	return h[i].seq < h[j].seq
 }
-func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = completion{} // drop the *mem.Request reference for the GC
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // DRAM is the memory controller plus channels. It implements mem.Device.
@@ -213,7 +245,7 @@ func (d *DRAM) Access(r *mem.Request) bool {
 func (d *DRAM) Tick(cycle uint64) {
 	d.now = cycle
 	for len(d.pending) > 0 && d.pending[0].cycle <= cycle {
-		c := heap.Pop(&d.pending).(completion)
+		c := d.pending.pop()
 		if c.read {
 			d.Stats.TotalLatency += c.cycle - c.start
 		}
@@ -282,7 +314,7 @@ func (d *DRAM) issueOne(ci int, cycle uint64) {
 			d.Stats.Writes++
 		}
 		d.seq++
-		heap.Push(&d.pending, completion{
+		d.pending.push(completion{
 			cycle: done + uint64(d.cfg.CtrlLatency),
 			seq:   d.seq,
 			req:   e.req,

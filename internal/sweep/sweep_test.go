@@ -1,0 +1,162 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(New(workers), items, func(v, i int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	const n = 257
+	var ran [n]atomic.Bool
+	if err := New(8).ForEach(n, func(i int) error {
+		if ran[i].Swap(true) {
+			return fmt.Errorf("job %d ran twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+}
+
+func TestErrorPropagatesAndStopsNewJobs(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	err := New(4).ForEach(1000, func(i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Fail-fast: the vast majority of the 1000 jobs must never start.
+	if n := started.Load(); n > 100 {
+		t.Errorf("%d jobs started after failure; fail-fast not effective", n)
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	// Serial reference: with one worker the first (lowest-index) failure
+	// is returned and nothing after it runs.
+	err := Serial.ForEach(10, func(i int) error {
+		if i >= 2 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "job 2 failed" {
+		t.Fatalf("serial err = %v, want job 2 failed", err)
+	}
+	// Parallel: every job fails; the reported error must be the lowest
+	// index among those that ran, and job 0 always runs.
+	err = New(4).ForEach(4, func(i int) error {
+		return fmt.Errorf("job %d failed", i)
+	})
+	if err == nil || err.Error() != "job 0 failed" {
+		t.Fatalf("parallel err = %v, want job 0 failed", err)
+	}
+}
+
+func TestPanicReRaisedOnCaller(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed")
+		}
+		if !strings.Contains(fmt.Sprint(r), "exploded") {
+			t.Fatalf("panic %v does not carry the job's panic value", r)
+		}
+	}()
+	_ = New(4).ForEach(8, func(i int) error {
+		if i == 5 {
+			panic("job exploded")
+		}
+		return nil
+	})
+	t.Fatal("ForEach returned after a job panicked")
+}
+
+// TestSimsParallelMatchesSerial runs the same simulation batch serially
+// and with a pool and requires identical measurements — the determinism
+// contract at the sim layer.
+func TestSimsParallelMatchesSerial(t *testing.T) {
+	w, ok := workloads.ByName("gather")
+	if !ok {
+		t.Fatal("gather workload missing")
+	}
+	var cfgs []sim.Config
+	for _, threads := range []int{2, 4} {
+		for _, pct := range []int{40, 80} {
+			cfgs = append(cfgs, sim.Config{
+				Kind: sim.ViReC, ThreadsPerCore: threads,
+				Workload: w, Iters: 32,
+				ContextPct: pct, Policy: vrmu.LRC,
+			})
+		}
+	}
+	serial, err := Sims(Serial, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sims(New(4), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if serial[i].Cycles != parallel[i].Cycles || serial[i].Insts != parallel[i].Insts {
+			t.Errorf("cfg %d: serial %d cycles / %d insts, parallel %d cycles / %d insts",
+				i, serial[i].Cycles, serial[i].Insts, parallel[i].Cycles, parallel[i].Insts)
+		}
+	}
+}
+
+// TestSimsErrorPropagation pushes an invalid config through a parallel
+// batch: the constructor error must surface from the sweep.
+func TestSimsErrorPropagation(t *testing.T) {
+	w, _ := workloads.ByName("gather")
+	good := sim.Config{Kind: sim.ViReC, ThreadsPerCore: 2, Workload: w,
+		Iters: 16, ContextPct: 80, Policy: vrmu.LRC}
+	bad := good
+	bad.Workload = nil // sim.New rejects a missing workload
+	_, err := Sims(New(4), []sim.Config{good, bad, good, good})
+	if err == nil {
+		t.Fatal("invalid config did not propagate an error")
+	}
+	if !strings.Contains(err.Error(), "workload") {
+		t.Fatalf("err = %v, want the sim constructor's workload error", err)
+	}
+}

@@ -86,12 +86,19 @@ func TestTagStoreCheckInvariantsFailureModes(t *testing.T) {
 		return ts
 	}
 
+	// mappedPhys returns the physical slot of a register mk installed.
+	mappedPhys := func(t *testing.T, ts *TagStore) int {
+		t.Helper()
+		i, ok := ts.Lookup(0, isa.Reg(1))
+		if !ok {
+			t.Fatal("mk's (0, X1) mapping missing")
+		}
+		return i
+	}
+
 	t.Run("index-entry mismatch", func(t *testing.T) {
 		ts := mk()
-		for _, i := range ts.index {
-			ts.entries[i].Thread++ // entry no longer matches its key
-			break
-		}
+		ts.entries[mappedPhys(t, ts)].Thread++ // entry no longer matches its key
 		if msg := ts.CheckInvariants(); !strings.Contains(msg, "mismatches entry") {
 			t.Errorf("got %q", msg)
 		}
@@ -99,10 +106,7 @@ func TestTagStoreCheckInvariantsFailureModes(t *testing.T) {
 
 	t.Run("invalid entry behind index", func(t *testing.T) {
 		ts := mk()
-		for _, i := range ts.index {
-			ts.entries[i].Valid = false
-			break
-		}
+		ts.entries[mappedPhys(t, ts)].Valid = false
 		if msg := ts.CheckInvariants(); !strings.Contains(msg, "mismatches entry") {
 			t.Errorf("got %q", msg)
 		}
@@ -110,19 +114,13 @@ func TestTagStoreCheckInvariantsFailureModes(t *testing.T) {
 
 	t.Run("out-of-range replacement bits", func(t *testing.T) {
 		ts := mk()
-		for _, i := range ts.index {
-			ts.entries[i].A = maxAge + 1
-			break
-		}
+		ts.entries[mappedPhys(t, ts)].A = maxAge + 1
 		if msg := ts.CheckInvariants(); !strings.Contains(msg, "out-of-range bits") {
 			t.Errorf("A-bit overflow: got %q", msg)
 		}
 
 		ts = mk()
-		for _, i := range ts.index {
-			ts.entries[i].T = maxT + 1
-			break
-		}
+		ts.entries[mappedPhys(t, ts)].T = maxT + 1
 		if msg := ts.CheckInvariants(); !strings.Contains(msg, "out-of-range bits") {
 			t.Errorf("T-bit overflow: got %q", msg)
 		}
@@ -137,7 +135,7 @@ func TestTagStoreCheckInvariantsFailureModes(t *testing.T) {
 				break
 			}
 		}
-		if msg := ts.CheckInvariants(); !strings.Contains(msg, "index keys") {
+		if msg := ts.CheckInvariants(); !strings.Contains(msg, "cam mappings") {
 			t.Errorf("got %q", msg)
 		}
 	})

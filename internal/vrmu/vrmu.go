@@ -129,20 +129,25 @@ func (s *Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(t)
 }
 
-type key struct {
-	thread int
-	reg    isa.Reg
-}
-
 // TagStore is the CAM mapping architectural registers of all threads onto
 // the physical register file.
 type TagStore struct {
 	entries []Entry
-	index   map[key]int
+	// cam is the dense (thread, arch reg) -> physical index table modeling
+	// the hardware CAM match: slot thread*isa.NumRegs+reg holds the
+	// physical index or -1. A flat array keeps the decode-stage lookup —
+	// the single hottest simulator operation — a bounds check and a load
+	// instead of a map probe, and allocates nothing per access. It grows
+	// on demand as higher thread ids appear.
+	cam     []int16
 	policy  Policy
 	clock   uint64
 	current int // currently running thread
 	oracle  func(thread int, reg isa.Reg) uint64
+
+	// ranks is the scratch buffer for perfect-LRU rank computation, reused
+	// across SelectVictim calls so victim selection never allocates.
+	ranks []uint64
 
 	// Stats is exported read-only for reporting.
 	Stats Stats
@@ -153,11 +158,27 @@ func NewTagStore(numPhys int, policy Policy) *TagStore {
 	if numPhys <= 0 {
 		panic("vrmu: tag store needs at least one physical register")
 	}
+	if numPhys > 1<<15 {
+		panic("vrmu: tag store limited to 32768 physical registers")
+	}
 	return &TagStore{
 		entries: make([]Entry, numPhys),
-		index:   make(map[key]int, numPhys),
 		policy:  policy,
 	}
+}
+
+// camSlot flattens a (thread, reg) pair into a CAM table index.
+func camSlot(thread int, reg isa.Reg) int {
+	return thread*int(isa.NumRegs) + int(reg)
+}
+
+// camSet records a mapping, growing the table for new threads.
+func (t *TagStore) camSet(thread int, reg isa.Reg, phys int) {
+	s := camSlot(thread, reg)
+	for len(t.cam) <= s {
+		t.cam = append(t.cam, -1)
+	}
+	t.cam[s] = int16(phys)
 }
 
 // Size returns the number of physical registers.
@@ -181,8 +202,11 @@ func (t *TagStore) Entry(i int) Entry { return t.entries[i] }
 // access per operand via CountAccess, while Lookup is also used for
 // internal bookkeeping.
 func (t *TagStore) Lookup(thread int, reg isa.Reg) (int, bool) {
-	i, ok := t.index[key{thread, reg}]
-	return i, ok
+	s := camSlot(thread, reg)
+	if s >= len(t.cam) || t.cam[s] < 0 {
+		return 0, false
+	}
+	return int(t.cam[s]), true
 }
 
 // CountAccess records one architectural register access as a hit or miss
@@ -198,8 +222,8 @@ func (t *TagStore) CountAccess(hit bool) {
 // Contains reports presence without counting a hit or miss (used by
 // oracle components and tests).
 func (t *TagStore) Contains(thread int, reg isa.Reg) bool {
-	_, ok := t.index[key{thread, reg}]
-	return ok
+	s := camSlot(thread, reg)
+	return s < len(t.cam) && t.cam[s] >= 0
 }
 
 // agingEpoch is the number of register accesses between global age
@@ -216,25 +240,31 @@ const agingEpoch = 4
 // valid entries age by one (3-bit saturating).
 func (t *TagStore) Touch(phys int) {
 	t.clock++
-	tick := t.clock%agingEpoch == 0
-	for i := range t.entries {
-		e := &t.entries[i]
-		if !e.Valid {
-			continue
+	// The full-file aging scan only happens on the epoch tick; ordinary
+	// touches update just the accessed entry, keeping the per-operand cost
+	// O(1) instead of O(physical registers).
+	if t.clock%agingEpoch == 0 {
+		for i := range t.entries {
+			if i == phys {
+				continue
+			}
+			if e := &t.entries[i]; e.Valid && e.A < maxAge {
+				e.A++
+			}
 		}
-		if i == phys {
-			e.A = 0
-			e.C = true
-			e.lastUse = t.clock
-		} else if tick && e.A < maxAge {
-			e.A++
-		}
+	}
+	if e := &t.entries[phys]; e.Valid {
+		e.A = 0
+		e.C = true
+		e.lastUse = t.clock
 	}
 }
 
 // retention returns the eviction priority of entry i under the active
 // policy; the highest value is evicted first. Invalid entries always win.
-func (t *TagStore) retention(i int, oldestRank map[int]uint64) uint64 {
+// oldestRank is the dense rank array from lruRanks (nil for policies that
+// do not need perfect recency).
+func (t *TagStore) retention(i int, oldestRank []uint64) uint64 {
 	e := &t.entries[i]
 	if !e.Valid {
 		return ^uint64(0)
@@ -267,35 +297,43 @@ func (t *TagStore) retention(i int, oldestRank map[int]uint64) uint64 {
 	return uint64(e.A)
 }
 
-// lruRanks maps physical index -> rank where the least recently used valid
-// entry has the highest rank. Only built for perfect-LRU policies.
-func (t *TagStore) lruRanks() map[int]uint64 {
+// lruRanks fills the scratch rank array: entry i gets a rank where the
+// least recently used valid entry has the highest value. Only built for
+// perfect-LRU policies; the buffer lives on the TagStore so repeated
+// victim selections never allocate.
+func (t *TagStore) lruRanks() []uint64 {
 	if t.policy != LRU && t.policy != MRTLRU {
 		return nil
 	}
-	ranks := make(map[int]uint64, len(t.entries))
+	if cap(t.ranks) < len(t.entries) {
+		t.ranks = make([]uint64, len(t.entries))
+	}
+	ranks := t.ranks[:len(t.entries)]
 	for i := range t.entries {
 		if t.entries[i].Valid {
 			// Smaller lastUse (older) => larger rank.
 			ranks[i] = ^t.entries[i].lastUse & 0xffffffff
+		} else {
+			ranks[i] = 0
 		}
 	}
 	return ranks
 }
 
-// SelectVictim returns the physical index to evict, skipping any index in
-// locked (the registers of the instruction currently decoding must not be
-// displaced by its own fills). It returns -1 if every entry is locked.
-// Ties in the policy bits are broken toward the least recently used entry
-// — the arbitrary-but-reasonable hardware tie-break — so policy
-// comparisons isolate the T/C/A bits themselves.
-func (t *TagStore) SelectVictim(locked map[int]bool) int {
+// SelectVictim returns the physical index to evict, skipping any index
+// locked reports true for (the registers of the instruction currently
+// decoding must not be displaced by its own fills; nil means nothing is
+// locked). It returns -1 if every entry is locked. Ties in the policy
+// bits are broken toward the least recently used entry — the
+// arbitrary-but-reasonable hardware tie-break — so policy comparisons
+// isolate the T/C/A bits themselves.
+func (t *TagStore) SelectVictim(locked func(int) bool) int {
 	ranks := t.lruRanks()
 	best := -1
 	var bestPri uint64
 	var bestUse uint64
 	for i := range t.entries {
-		if locked[i] {
+		if locked != nil && locked(i) {
 			continue
 		}
 		pri := t.retention(i, ranks)
@@ -321,7 +359,7 @@ func (t *TagStore) Insert(thread int, reg isa.Reg, phys int) (Victim, bool) {
 		if e.Dirty {
 			t.Stats.DirtyEvict++
 		}
-		delete(t.index, key{e.Thread, e.Reg})
+		t.camSet(e.Thread, e.Reg, -1)
 	}
 	t.clock++
 	tBits := uint8(0)
@@ -335,7 +373,7 @@ func (t *TagStore) Insert(thread int, reg isa.Reg, phys int) (Victim, bool) {
 		T: tBits, C: true, A: 0,
 		lastUse: t.clock,
 	}
-	t.index[key{thread, reg}] = phys
+	t.camSet(thread, reg, phys)
 	return v, evicted
 }
 
@@ -430,7 +468,7 @@ func (t *TagStore) Evict(phys int) (Victim, bool) {
 	if e.Dirty {
 		t.Stats.DirtyEvict++
 	}
-	delete(t.index, key{e.Thread, e.Reg})
+	t.camSet(e.Thread, e.Reg, -1)
 	e.Valid = false
 	return v, true
 }
@@ -456,7 +494,7 @@ func (t *TagStore) InvalidateThread(thread int) {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.Valid && e.Thread == thread {
-			delete(t.index, key{e.Thread, e.Reg})
+			t.camSet(e.Thread, e.Reg, -1)
 			e.Valid = false
 		}
 	}
@@ -473,12 +511,21 @@ func (t *TagStore) Occupancy() int {
 	return n
 }
 
-// CheckInvariants validates index/entry consistency; returns "" when OK.
+// CheckInvariants validates CAM/entry consistency; returns "" when OK.
 func (t *TagStore) CheckInvariants() string {
-	for k, i := range t.index {
-		e := &t.entries[i]
-		if !e.Valid || e.Thread != k.thread || e.Reg != k.reg {
-			return fmt.Sprintf("index %v -> %d mismatches entry %+v", k, i, *e)
+	mapped := 0
+	for s, pi := range t.cam {
+		if pi < 0 {
+			continue
+		}
+		mapped++
+		thread, reg := s/int(isa.NumRegs), isa.Reg(s%int(isa.NumRegs))
+		if int(pi) >= len(t.entries) {
+			return fmt.Sprintf("cam t%d %s -> %d outside the %d-entry store", thread, reg, pi, len(t.entries))
+		}
+		e := &t.entries[pi]
+		if !e.Valid || e.Thread != thread || e.Reg != reg {
+			return fmt.Sprintf("cam t%d %s -> %d mismatches entry %+v", thread, reg, pi, *e)
 		}
 	}
 	n := 0
@@ -490,8 +537,8 @@ func (t *TagStore) CheckInvariants() string {
 			}
 		}
 	}
-	if n != len(t.index) {
-		return fmt.Sprintf("%d valid entries but %d index keys", n, len(t.index))
+	if n != mapped {
+		return fmt.Sprintf("%d valid entries but %d cam mappings", n, mapped)
 	}
 	return ""
 }

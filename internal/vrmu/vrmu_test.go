@@ -192,13 +192,12 @@ func TestLockedRegistersNotEvicted(t *testing.T) {
 	ts.Insert(0, isa.X1, p0)
 	p1 := ts.SelectVictim(nil)
 	ts.Insert(0, isa.X2, p1)
-	locked := map[int]bool{p0: true}
-	v := ts.SelectVictim(locked)
+	v := ts.SelectVictim(func(i int) bool { return i == p0 })
 	if v == p0 {
 		t.Error("locked register was selected for eviction")
 	}
 	// Everything locked -> -1.
-	if got := ts.SelectVictim(map[int]bool{p0: true, p1: true}); got != -1 {
+	if got := ts.SelectVictim(func(i int) bool { return i == p0 || i == p1 }); got != -1 {
 		t.Errorf("fully locked store victim = %d, want -1", got)
 	}
 }
