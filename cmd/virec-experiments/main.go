@@ -18,6 +18,8 @@ import (
 	"runtime/pprof"
 
 	"github.com/virec/virec/internal/experiments"
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep workers: 0 = all CPUs, 1 = serial (output is identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metrics  = flag.String("metrics-json", "", "write the merged telemetry snapshot of every simulation run as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,23 @@ func main() {
 	}
 
 	opt := experiments.Options{Quick: *quick, Iters: *iters, Parallel: *parallel}
+
+	// With -metrics-json every simulation's telemetry snapshot is folded
+	// (in submission order, so the output is deterministic) into one
+	// aggregate document across all requested experiments.
+	var agg *telemetry.Snapshot
+	if *metrics != "" {
+		opt.OnResult = func(res *sim.Result) {
+			if res.Metrics == nil {
+				return
+			}
+			if agg == nil {
+				agg = &telemetry.Snapshot{}
+			}
+			agg.Merge(res.Metrics)
+		}
+	}
+
 	names := []string{*exp}
 	if *exp == "all" {
 		names = experiments.Names()
@@ -97,4 +117,29 @@ func main() {
 			fmt.Println(rep.String())
 		}
 	}
+
+	if *metrics != "" {
+		if err := writeSnapshot(*metrics, agg); err != nil {
+			fmt.Fprintln(os.Stderr, "virec-experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSnapshot writes the aggregate snapshot as indented JSON to path,
+// with "-" selecting stdout.
+func writeSnapshot(path string, snap *telemetry.Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("no simulation produced a telemetry snapshot")
+	}
+	data, err := snap.MarshalIndentJSON()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

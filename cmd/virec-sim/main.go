@@ -3,24 +3,35 @@
 // configuration is simulated N times under different data seeds, fanned
 // across -parallel workers, with a per-seed summary table.
 //
+// Observability: -trace records a cycle-level event trace (Chrome
+// trace_event JSON for chrome://tracing / Perfetto, or JSONL for scripted
+// analysis), and -metrics-json exports the unified metrics registry —
+// every counter, gauge and histogram of every simulated structure — as
+// machine-readable JSON.
+//
 // Usage:
 //
 //	virec-sim -workload gather -kind virec -threads 8 -ctx 60
 //	virec-sim -workload spmv -kind banked -cores 4
+//	virec-sim -workload gather -trace -trace-out gather.trace.json
+//	virec-sim -workload gather -metrics-json - | jq .counters
 //	virec-sim -workload gather -seeds 16 -parallel 0
 //	virec-sim -list
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/virec/virec/internal/harden"
 	"github.com/virec/virec/internal/sim"
 	"github.com/virec/virec/internal/stats"
 	"github.com/virec/virec/internal/sweep"
+	"github.com/virec/virec/internal/telemetry"
 	"github.com/virec/virec/internal/vrmu"
 	"github.com/virec/virec/internal/workloads"
 )
@@ -39,7 +50,6 @@ func main() {
 		dcacheLat = flag.Int("dcache-lat", 2, "dcache hit latency in cycles")
 		validate  = flag.Bool("validate", true, "golden-model value checking")
 		list      = flag.Bool("list", false, "list workloads and exit")
-		trace     = flag.String("trace", "", "write a pipeline event trace (switches, loads, cancels) to this file")
 		faults    = flag.Uint64("faults", 0, "fault-injection seed (0 disables); perturbs dcache timing, never values")
 		faultPlan = flag.String("fault-plan", "all", "named fault schedule: jitter|busy|storm|all")
 		watchdog  = flag.Uint64("watchdog", 0, "livelock watchdog window in cycles (0 disables)")
@@ -47,6 +57,14 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "base data seed (0 = built-in default)")
 		seeds     = flag.Int("seeds", 1, "number of seeds to soak: N > 1 runs the config once per seed")
 		parallel  = flag.Int("parallel", 0, "soak-run sweep workers: 0 = all CPUs, 1 = serial")
+
+		trace    = flag.Bool("trace", false, "record a cycle-level event trace (see -trace-out/-trace-format)")
+		traceOut = flag.String("trace-out", "trace.json", "trace output file")
+		traceFmt = flag.String("trace-format", "chrome", "trace format: chrome (load in chrome://tracing or Perfetto) | jsonl")
+		traceBuf = flag.Int("trace-buf", 1<<16, "tracer ring capacity in events (streaming flush batch size)")
+
+		metricsJSON  = flag.String("metrics-json", "", "write the metrics-registry snapshot as JSON to this file ('-' = stdout)")
+		metricsEvery = flag.Uint64("metrics-every", 0, "with -metrics-json: write a compact snapshot line every N cycles (output becomes JSONL)")
 	)
 	flag.Parse()
 
@@ -104,12 +122,54 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		if *trace != "" {
+		if *trace {
 			fmt.Fprintln(os.Stderr, "virec-sim: -trace is a single-run flag; drop it or use -seeds 1")
 			os.Exit(2)
 		}
-		soak(cfg, *seeds, *parallel, kind, w)
+		soak(cfg, *seeds, *parallel, kind, w, *metricsJSON)
 		return
+	}
+
+	// Trace export: the tracer streams full ring batches into the chosen
+	// encoder, so a run of any length traces in bounded memory.
+	var traceFile *os.File
+	var chromeW *telemetry.ChromeWriter
+	var jsonlW *bufio.Writer
+	if *trace {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "virec-sim:", err)
+			os.Exit(1)
+		}
+		cfg.TraceEvents = *traceBuf
+		switch *traceFmt {
+		case "chrome":
+			chromeW = telemetry.NewChromeWriter(traceFile)
+			cfg.TraceSink = func(evs []telemetry.Event) { _ = chromeW.Write(evs) }
+		case "jsonl":
+			jsonlW = bufio.NewWriter(traceFile)
+			cfg.TraceSink = func(evs []telemetry.Event) { _ = telemetry.WriteEventsJSONL(jsonlW, evs) }
+		default:
+			fmt.Fprintf(os.Stderr, "virec-sim: unknown trace format %q (try chrome|jsonl)\n", *traceFmt)
+			os.Exit(2)
+		}
+	}
+
+	// Periodic metrics snapshots stream to the -metrics-json destination as
+	// compact JSON lines; the final snapshot goes there too.
+	metricsW, metricsClose, err := openOut(*metricsJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virec-sim:", err)
+		os.Exit(1)
+	}
+	if *metricsEvery > 0 {
+		if metricsW == nil {
+			fmt.Fprintln(os.Stderr, "virec-sim: -metrics-every needs -metrics-json")
+			os.Exit(2)
+		}
+		enc := json.NewEncoder(metricsW)
+		cfg.MetricsEvery = *metricsEvery
+		cfg.OnMetrics = func(snap *telemetry.Snapshot) { _ = enc.Encode(snap) }
 	}
 
 	system, err := sim.New(cfg)
@@ -117,26 +177,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "virec-sim:", err)
 		os.Exit(1)
 	}
-	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "virec-sim:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w := bufio.NewWriter(f)
-		defer w.Flush()
-		for i, core := range system.Cores {
-			id := i
-			core.SetTrace(func(cy uint64, ev string) {
-				fmt.Fprintf(w, "%10d core%d %s\n", cy, id, ev)
-			})
-		}
-	}
 	res, err := system.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "virec-sim:", err)
 		os.Exit(1)
+	}
+
+	if *trace {
+		var ferr error
+		if chromeW != nil {
+			ferr = chromeW.Close(res.Cycles)
+		} else {
+			ferr = jsonlW.Flush()
+		}
+		if cerr := traceFile.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "virec-sim: writing trace:", ferr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "virec-sim: wrote %d trace events to %s (%s)\n",
+			system.Tracer.Total(), *traceOut, *traceFmt)
+	}
+	if metricsW != nil {
+		if err := writeMetrics(metricsW, res.Metrics, *metricsEvery > 0); err == nil {
+			err = metricsClose()
+		} else {
+			metricsClose()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "virec-sim: writing metrics:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("%s on %s: %d cores x %d threads x %d iters\n",
@@ -174,11 +247,44 @@ func main() {
 	fmt.Println("verification: all threads match the golden model")
 }
 
+// openOut resolves a -metrics-json destination: "" = disabled, "-" =
+// stdout (not closed), anything else = created file.
+func openOut(path string) (io.Writer, func() error, error) {
+	switch path {
+	case "":
+		return nil, nil, nil
+	case "-":
+		return os.Stdout, func() error { return nil }, nil
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
+	}
+}
+
+// writeMetrics writes the final snapshot: a compact line when the output
+// is a periodic-snapshot JSONL stream, indented JSON otherwise.
+func writeMetrics(w io.Writer, snap *telemetry.Snapshot, jsonl bool) error {
+	if jsonl {
+		return json.NewEncoder(w).Encode(snap)
+	}
+	data, err := snap.MarshalIndentJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
 // soak runs the configuration once per seed across a sweep pool and
 // prints a per-seed summary. Each run carries full value validation (when
 // enabled) and the invariant sweep, so this is the CLI's stress mode:
-// many deterministic runs over different data, in parallel.
-func soak(cfg sim.Config, n, workers int, kind sim.CoreKind, w *workloads.Spec) {
+// many deterministic runs over different data, in parallel. With
+// -metrics-json the per-seed telemetry snapshots are merged (counters and
+// histogram buckets add element-wise) into one aggregate document.
+func soak(cfg sim.Config, n, workers int, kind sim.CoreKind, w *workloads.Spec, metricsJSON string) {
 	base := cfg.Seed
 	if base == 0 {
 		base = 0x9e3779b97f4a7c15 // the sim package's default seed
@@ -188,10 +294,24 @@ func soak(cfg sim.Config, n, workers int, kind sim.CoreKind, w *workloads.Spec) 
 		cfgs[i] = cfg
 		cfgs[i].Seed = base + uint64(i)
 	}
-	results, err := sweep.Sims(sweep.New(workers), cfgs)
+	results, agg, err := sweep.SimsMerged(sweep.New(workers), cfgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "virec-sim:", err)
 		os.Exit(1)
+	}
+
+	if metricsJSON != "" {
+		mw, mclose, err := openOut(metricsJSON)
+		if err == nil {
+			err = writeMetrics(mw, agg, false)
+			if cerr := mclose(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "virec-sim: writing metrics:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("%s on %s: %d seeds x %d cores x %d threads x %d iters\n",

@@ -1,7 +1,10 @@
 package cpu_test
 
 import (
+	"runtime"
 	"testing"
+
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // benchTick drives the full core + cache + lower-level tick loop on the
@@ -30,4 +33,66 @@ func BenchmarkCoreTick(b *testing.B) {
 	b.Run("banked", func(b *testing.B) { benchTick(b, pBanked, false) })
 	b.Run("virec", func(b *testing.B) { benchTick(b, pViReC, false) })
 	b.Run("virec-dram", func(b *testing.B) { benchTick(b, pViReC, true) })
+}
+
+// registerTelemetry wires the rig's core into a fresh registry with
+// tracing disabled — the exact state a plain sim.New system runs in.
+func registerTelemetry(r *rig) {
+	reg := telemetry.NewRegistry()
+	r.core.RegisterMetrics(reg, "core0")
+	r.core.SetTelemetry(nil, 0)
+}
+
+// BenchmarkCoreTickTracedOff is the disabled-telemetry guardrail twin of
+// BenchmarkCoreTick/virec: metrics registered, tracer nil. Compare its
+// ns/op and allocs/op against the plain benchmark — registration aliases
+// existing counters and every emit site is behind a nil check, so the two
+// must stay within noise of each other.
+func BenchmarkCoreTickTracedOff(b *testing.B) {
+	b.ReportAllocs()
+	cycles := uint64(0)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := newRig(pViReC, rigOpt{threads: 4, physRegs: 32})
+		registerTelemetry(r)
+		setupGather(r, 4, 64)
+		r.load(gatherProg(), 0, 1, 2, 3)
+		b.StartTimer()
+		if !r.run(10000000) {
+			b.Fatal("did not finish")
+		}
+		cycles += r.core.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+}
+
+// TestTracedOffAddsNoAllocs asserts the guardrail the benchmark only
+// reports: registering metrics with tracing disabled must add zero
+// allocations to a whole simulation run. A leak on any emit path would
+// show up as roughly one allocation per simulated cycle (thousands);
+// the slack only absorbs runtime noise in the malloc counter.
+func TestTracedOffAddsNoAllocs(t *testing.T) {
+	runAllocs := func(register bool) uint64 {
+		r := newRig(pViReC, rigOpt{threads: 4, physRegs: 32})
+		if register {
+			registerTelemetry(r)
+		}
+		setupGather(r, 4, 64)
+		r.load(gatherProg(), 0, 1, 2, 3)
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if !r.run(10000000) {
+			t.Fatal("did not finish")
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	runAllocs(false) // warm up shared state (pools, lazily built tables)
+	base := runAllocs(false)
+	traced := runAllocs(true)
+	const slack = 64
+	if traced > base+slack {
+		t.Errorf("disabled telemetry added allocations: %d with registration vs %d without", traced, base)
+	}
 }

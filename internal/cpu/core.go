@@ -22,6 +22,7 @@ import (
 	"github.com/virec/virec/internal/asm"
 	"github.com/virec/virec/internal/isa"
 	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // Config parameterizes the pipeline (Table 1's in-order cores).
@@ -208,6 +209,16 @@ type Core struct {
 	scratchDst  []isa.Reg
 	scratchNeed []isa.Reg
 
+	// Telemetry. tracer is nil when tracing is off (Emit and Observe are
+	// nil-safe, so the disabled path is one branch per site). The
+	// histograms are nil until RegisterMetrics wires them.
+	tracer          *telemetry.Tracer
+	traceCore       int32
+	stamper         cycleStamper // non-nil only when tracing a stamping provider
+	switchInterval  *telemetry.Histogram
+	sqOccupancy     *telemetry.Histogram
+	lastSwitchCycle uint64
+
 	// Stats is exported read-only for reporting.
 	Stats Stats
 }
@@ -299,6 +310,9 @@ func (c *Core) Cur() int { return c.cur }
 // all cores so that accesses issued this cycle are seen by the caches.
 func (c *Core) Tick(cycle uint64) {
 	c.cycle = cycle
+	if c.stamper != nil {
+		c.stamper.StampCycle(cycle)
+	}
 	if c.Done() {
 		return
 	}
@@ -333,6 +347,7 @@ func (c *Core) commitStage() {
 		req := &mem.Request{Addr: f.effAddr, Size: in.MemBytes(), Kind: mem.Write}
 		c.sq = append(c.sq, &sqEntry{req: req})
 		c.Stats.Stores++
+		c.sqOccupancy.Observe(uint64(len(c.sq)))
 	}
 
 	th := c.threads[f.thread]
@@ -358,6 +373,10 @@ func (c *Core) commitStage() {
 	c.Stats.Insts++
 	c.Stats.InstsPerThread[f.thread]++
 	c.committedSinceSwitch = true
+	if c.tracer != nil {
+		c.tracer.Emit(c.cycle, telemetry.EvStage, c.traceCore, int32(f.thread),
+			telemetry.StageCommit, uint64(f.pc), f.seq)
+	}
 	c.wb = nil
 
 	switch in.Op {
@@ -428,6 +447,10 @@ func (c *Core) issueLoad(f *inflight) {
 				return
 			}
 			c.Stats.LoadMissSignals++
+			if c.tracer != nil {
+				c.tracer.Emit(cycle, telemetry.EvLoadMiss, c.traceCore,
+					int32(fl.thread), uint64(fl.effAddr), 0, 0)
+			}
 			if c.pendingSwitch == switchNone {
 				c.pendingSwitch = switchMiss
 				c.pendingAt = cycle
@@ -506,6 +529,10 @@ func (c *Core) exStage() {
 		return
 	}
 	if c.mm == nil {
+		if c.tracer != nil {
+			c.tracer.Emit(c.cycle, telemetry.EvStage, c.traceCore, int32(f.thread),
+				telemetry.StageMem, uint64(f.pc), f.seq)
+		}
 		c.mm = f
 		c.ex = nil
 	}
@@ -690,6 +717,10 @@ srcLoop:
 	}
 
 	c.provider.InstDecoded(f.thread, f.seq, in)
+	if c.tracer != nil {
+		c.tracer.Emit(c.cycle, telemetry.EvStage, c.traceCore, int32(f.thread),
+			telemetry.StageExecute, uint64(f.pc), f.seq)
+	}
 	c.ex = f
 	c.dec = nil
 }
@@ -711,6 +742,10 @@ func (c *Core) fetchStage() {
 			thread: c.cur,
 			pc:     slot.pc,
 			in:     th.Prog.At(slot.pc),
+		}
+		if c.tracer != nil {
+			c.tracer.Emit(c.cycle, telemetry.EvStage, c.traceCore, int32(c.cur),
+				telemetry.StageDecode, uint64(slot.pc), c.seq)
 		}
 	}
 	// Issue icache requests for queued slots (one per cycle).
@@ -858,6 +893,23 @@ func (c *Core) csl() {
 	c.pendingSwitch = switchNone
 	if reason != switchStart {
 		c.Stats.ContextSwitches++
+		c.switchInterval.Observe(c.cycle - c.lastSwitchCycle)
+	}
+	c.lastSwitchCycle = c.cycle
+	if c.tracer != nil {
+		var why uint64
+		switch reason {
+		case switchMiss:
+			why = telemetry.SwitchLoadMiss
+		case switchYield:
+			why = telemetry.SwitchYield
+		case switchHalt:
+			why = telemetry.SwitchHalt
+		default:
+			why = telemetry.SwitchStart
+		}
+		c.tracer.Emit(c.cycle, telemetry.EvSwitch, c.traceCore, int32(next),
+			uint64(int64(prev)), why, 0)
 	}
 	if c.cfg.Trace != nil {
 		c.cfg.Trace(c.cycle, fmt.Sprintf("switch t%d->t%d reason=%d zc=%d", prev, next, reason, c.zeroCommitSwitches))
@@ -941,6 +993,53 @@ func (c *Core) drainSQ() {
 
 // SetTrace installs a debug event hook (tests only).
 func (c *Core) SetTrace(fn func(cycle uint64, event string)) { c.cfg.Trace = fn }
+
+// ---- telemetry ----
+
+// cycleStamper is implemented by providers that timestamp their own trace
+// events. The core feeds the stamp at the top of Tick — before any stage
+// can call into the provider — so decode-driven provider events (register
+// misses, victim selections) carry the exact emitting cycle even though
+// the provider's own Tick runs last.
+type cycleStamper interface{ StampCycle(uint64) }
+
+// SetTelemetry attaches a cycle-level event tracer. A nil tracer keeps
+// the emit paths disabled (one branch, zero allocations).
+func (c *Core) SetTelemetry(tr *telemetry.Tracer, coreID int) {
+	c.tracer = tr
+	c.traceCore = int32(coreID)
+	c.stamper = nil
+	if tr != nil {
+		if s, ok := c.provider.(cycleStamper); ok {
+			c.stamper = s
+		}
+	}
+}
+
+// RegisterMetrics wires the core's counters and histograms into a
+// registry under prefix (e.g. "core0"). Counters alias the Stats fields,
+// so registered metrics reconcile exactly with the reported tables.
+func (c *Core) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	s := &c.Stats
+	r.Counter(prefix+"/cycles", &s.Cycles)
+	r.Counter(prefix+"/insts", &s.Insts)
+	r.Counter(prefix+"/ctx_switches", &s.ContextSwitches)
+	r.Counter(prefix+"/load_miss_signals", &s.LoadMissSignals)
+	r.Counter(prefix+"/switch_waits", &s.SwitchWaits)
+	r.Counter(prefix+"/decode_reg_stalls", &s.DecodeRegStalls)
+	r.Counter(prefix+"/decode_fwd_stalls", &s.DecodeFwdStalls)
+	r.Counter(prefix+"/fetch_stalls", &s.FetchStalls)
+	r.Counter(prefix+"/sq_full_stalls", &s.SQFullStalls)
+	r.Counter(prefix+"/switch_cancels", &s.SwitchCancels)
+	r.Counter(prefix+"/mem_wait_cycles", &s.MemWaitCycles)
+	r.Counter(prefix+"/loads", &s.Loads)
+	r.Counter(prefix+"/stores", &s.Stores)
+	r.Counter(prefix+"/branch_flushes", &s.BranchFlushes)
+	c.switchInterval = r.Histogram(prefix+"/switch_interval_cycles",
+		telemetry.Pow2Buckets(8, 12))
+	c.sqOccupancy = r.Histogram(prefix+"/sq_occupancy",
+		telemetry.LinearBuckets(0, 1, c.cfg.SQEntries+1))
+}
 
 // ---- diagnostics & invariants (the hardening layer's window) ----
 

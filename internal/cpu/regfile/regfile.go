@@ -18,7 +18,9 @@ package regfile
 
 import (
 	"github.com/virec/virec/internal/cpu"
+	"github.com/virec/virec/internal/isa"
 	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // base carries the plumbing every provider needs.
@@ -71,6 +73,11 @@ type bsiOp struct {
 	sticky bool // sticky-pin the line (system registers)
 	unpin  bool // release a sticky pin (thread halt)
 	onDone func(cycle uint64)
+
+	// Attribution for telemetry: which (thread, register) the transaction
+	// moves. thread is -1 for unattributed bookkeeping traffic.
+	thread int32
+	reg    isa.Reg
 }
 
 // bsi is the backing store interface: it issues register loads and stores
@@ -84,6 +91,11 @@ type bsi struct {
 	outstanding int
 	nonBlocking bool
 	perCycle    int
+
+	// Telemetry (nil when disabled; Emit/Observe are nil-safe).
+	tracer    *telemetry.Tracer
+	traceCore int32
+	fillLat   *telemetry.Histogram
 
 	// Stats
 	FillsIssued  uint64
@@ -130,8 +142,18 @@ func (b *bsi) Tick(cycle uint64) {
 			Unpin:        op.unpin,
 		}
 		done := op.onDone
+		issuedAt := cycle
+		trackFill := fromLoads && !op.noCrit && (b.fillLat != nil || b.tracer != nil)
+		o := op
 		req.Done = func(cy uint64) {
 			b.outstanding--
+			if trackFill {
+				b.fillLat.Observe(cy - issuedAt)
+				if b.tracer != nil {
+					b.tracer.Emit(cy, telemetry.EvFillDone, b.traceCore, o.thread,
+						uint64(o.addr), cy-issuedAt, uint64(o.reg))
+				}
+			}
 			if done != nil {
 				done(cy)
 			}
@@ -143,9 +165,17 @@ func (b *bsi) Tick(cycle uint64) {
 		if fromLoads {
 			b.loads = b.loads[1:]
 			b.FillsIssued++
+			if b.tracer != nil {
+				b.tracer.Emit(cycle, telemetry.EvFill, b.traceCore, op.thread,
+					uint64(op.addr), uint64(op.reg), 0)
+			}
 		} else {
 			b.stores = b.stores[1:]
 			b.SpillsIssued++
+			if b.tracer != nil {
+				b.tracer.Emit(cycle, telemetry.EvSpill, b.traceCore, op.thread,
+					uint64(op.addr), uint64(op.reg), 0)
+			}
 		}
 		issued++
 	}

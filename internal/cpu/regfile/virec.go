@@ -8,6 +8,7 @@ import (
 	"github.com/virec/virec/internal/cpu"
 	"github.com/virec/virec/internal/isa"
 	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/telemetry"
 	"github.com/virec/virec/internal/vrmu"
 )
 
@@ -104,6 +105,14 @@ type ViReC struct {
 
 	// sysBuf is the system-register ping-pong buffer of Section 5.2.
 	sysBuf [2]sysSlot
+
+	// Telemetry. tracer is nil when tracing is off; cycle is kept current
+	// by StampCycle (fed by the core at the top of its Tick, before any
+	// stage calls in) so decode-side events carry the exact emitting
+	// cycle, and by Tick as a fallback for providers driven standalone.
+	tracer    *telemetry.Tracer
+	traceCore int32
+	cycle     uint64
 
 	// Stats
 	DummyDests     uint64
@@ -207,6 +216,43 @@ func (p *ViReC) SetPrefetchRegs(thread int, regs []isa.Reg) {
 
 var _ cpu.Provider = (*ViReC)(nil)
 
+// SetTelemetry attaches the cycle-level tracer to the provider and its
+// three BSI engines. A nil tracer keeps every emit path disabled.
+func (p *ViReC) SetTelemetry(tr *telemetry.Tracer, coreID int) {
+	p.tracer = tr
+	p.traceCore = int32(coreID)
+	for _, b := range [...]*bsi{p.bsi, p.sysBsi, p.pfBsi} {
+		b.tracer = tr
+		b.traceCore = int32(coreID)
+	}
+}
+
+// StampCycle keeps the provider's event timestamp current. The core calls
+// it at the top of its Tick (only while tracing), before any pipeline
+// stage reaches the provider, so decode-side events carry the exact
+// emitting cycle even though the provider's own Tick runs last.
+func (p *ViReC) StampCycle(cycle uint64) { p.cycle = cycle }
+
+// RegisterMetrics wires the provider's counters, the tag store, the BSI
+// traffic counters and the fill-latency histogram into a registry under
+// prefix (e.g. "rf0"). Counters alias the exported stats fields, so the
+// registry reconciles exactly with the experiment tables.
+func (p *ViReC) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	p.tags.RegisterMetrics(r, prefix+"/vrmu")
+	r.Counter(prefix+"/dummy_dests", &p.DummyDests)
+	r.Counter(prefix+"/commit_reallocs", &p.CommitReallocs)
+	r.Counter(prefix+"/group_evictions", &p.GroupEvictions)
+	r.Counter(prefix+"/prefetches", &p.Prefetches)
+	r.Counter(prefix+"/prefetch_hits", &p.PrefetchHits)
+	r.Counter(prefix+"/fills_issued", &p.bsi.FillsIssued)
+	r.Counter(prefix+"/spills_issued", &p.bsi.SpillsIssued)
+	r.Counter(prefix+"/sysreg_fills", &p.sysBsi.FillsIssued)
+	r.Counter(prefix+"/sysreg_spills", &p.sysBsi.SpillsIssued)
+	r.Counter(prefix+"/prefetch_fills", &p.pfBsi.FillsIssued)
+	p.bsi.fillLat = r.Histogram(prefix+"/fill_latency_cycles",
+		telemetry.Pow2Buckets(4, 10))
+}
+
 // Tags exposes the tag store for statistics (hit rates, Figure 12).
 func (p *ViReC) Tags() *vrmu.TagStore { return p.tags }
 
@@ -292,7 +338,16 @@ func (p *ViReC) spill(v vrmu.Victim) {
 	if !v.Dummy {
 		p.memory.Write64(addr, v.Value)
 	}
-	p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write, noCrit: !v.Dirty})
+	if p.tracer != nil {
+		var dirty uint64
+		if v.Dirty {
+			dirty = 1
+		}
+		p.tracer.Emit(p.cycle, telemetry.EvVictim, p.traceCore, int32(v.Thread),
+			uint64(v.Reg), dirty, 0)
+	}
+	p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write, noCrit: !v.Dirty,
+		thread: int32(v.Thread), reg: v.Reg})
 }
 
 // startFill begins fetching (thread,reg) from the backing store into slot
@@ -303,8 +358,10 @@ func (p *ViReC) startFill(thread int, r isa.Reg, phys int) {
 	p.pendingPhys[phys] = true
 	addr := p.layout.RegAddr(thread, r)
 	p.bsi.pushLoad(&bsiOp{
-		addr: addr,
-		kind: mem.Read,
+		addr:   addr,
+		kind:   mem.Read,
+		thread: int32(thread),
+		reg:    r,
 		onDone: func(uint64) {
 			p.pendingPhys[phys] = false
 			if p.superseded[key] {
@@ -343,12 +400,19 @@ func (p *ViReC) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool {
 			if hit && p.cfg.PrefetchNext {
 				p.PrefetchHits++
 			}
+			if !hit && p.tracer != nil {
+				p.tracer.Emit(p.cycle, telemetry.EvRFMiss, p.traceCore, int32(thread), uint64(r), 0, 0)
+			}
 			p.lockIfPresent(thread, r)
 		}
 		var dsts [2]isa.Reg
 		for _, d := range in.DstRegs(dsts[:0]) {
 			if d != isa.XZR {
-				p.tags.CountAccess(p.tags.Contains(thread, d))
+				hit := p.tags.Contains(thread, d)
+				p.tags.CountAccess(hit)
+				if !hit && p.tracer != nil {
+					p.tracer.Emit(p.cycle, telemetry.EvRFMiss, p.traceCore, int32(thread), uint64(d), 0, 1)
+				}
 				p.lockIfPresent(thread, d)
 			}
 		}
@@ -416,6 +480,8 @@ func (p *ViReC) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool {
 				addr:   p.layout.RegAddr(thread, d),
 				kind:   mem.Read,
 				noCrit: true,
+				thread: int32(thread),
+				reg:    d,
 			})
 		}
 	}
@@ -460,11 +526,12 @@ func (p *ViReC) WriteValue(thread int, r isa.Reg, v uint64) {
 			// value straight to the backing store.
 			addr := p.layout.RegAddr(thread, r)
 			p.memory.Write64(addr, v)
-			p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write})
+			p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write, thread: int32(thread), reg: r})
 			return
 		}
 		p.CommitReallocs++
-		p.bsi.pushLoad(&bsiOp{addr: p.layout.RegAddr(thread, r), kind: mem.Read, noCrit: true})
+		p.bsi.pushLoad(&bsiOp{addr: p.layout.RegAddr(thread, r), kind: mem.Read, noCrit: true,
+			thread: int32(thread), reg: r})
 	}
 	p.tags.Touch(phys)
 	p.tags.WriteValue(phys, v)
@@ -553,6 +620,7 @@ func (p *ViReC) loadSysregs(i, thread int) {
 		addr:   p.layout.SysRegAddr(thread),
 		kind:   mem.Read,
 		sticky: true,
+		thread: int32(thread),
 		onDone: func(uint64) {
 			if p.sysBuf[i].thread == thread {
 				p.sysBuf[i].ready = true
@@ -575,7 +643,8 @@ func (p *ViReC) CanSwitchTo(next int) bool {
 		victim = 1
 	}
 	if old := p.sysBuf[victim]; old.thread >= 0 && old.ready {
-		p.sysBsi.pushStore(&bsiOp{addr: p.layout.SysRegAddr(old.thread), kind: mem.Write, noCrit: true})
+		p.sysBsi.pushStore(&bsiOp{addr: p.layout.SysRegAddr(old.thread), kind: mem.Write,
+			noCrit: true, thread: int32(old.thread)})
 	}
 	p.loadSysregs(victim, next)
 	return false
@@ -608,7 +677,8 @@ func (p *ViReC) OnSwitch(prev, next int) {
 		victim = 1
 	}
 	if old := p.sysBuf[victim]; old.thread >= 0 && old.thread != next && old.ready {
-		p.sysBsi.pushStore(&bsiOp{addr: p.layout.SysRegAddr(old.thread), kind: mem.Write, noCrit: true})
+		p.sysBsi.pushStore(&bsiOp{addr: p.layout.SysRegAddr(old.thread), kind: mem.Write,
+			noCrit: true, thread: int32(old.thread)})
 	}
 	p.loadSysregs(victim, succ)
 	if p.cfg.PrefetchNext {
@@ -647,8 +717,10 @@ func (p *ViReC) prefetchThread(thread int) {
 		addr := p.layout.RegAddr(thread, r)
 		p.Prefetches++
 		p.pfBsi.pushLoad(&bsiOp{
-			addr: addr,
-			kind: mem.Read,
+			addr:   addr,
+			kind:   mem.Read,
+			thread: int32(thread),
+			reg:    r,
 			onDone: func(uint64) {
 				p.pendingPhys[phys] = false
 				if p.superseded[key] {
@@ -679,7 +751,8 @@ func (p *ViReC) ThreadHalted(thread int) {
 			_ = phys
 		}
 		if p.tags.Contains(thread, r) {
-			p.bsi.pushStore(&bsiOp{addr: p.layout.RegAddr(thread, r), kind: mem.Write, noCrit: true})
+			p.bsi.pushStore(&bsiOp{addr: p.layout.RegAddr(thread, r), kind: mem.Write,
+				noCrit: true, thread: int32(thread), reg: r})
 		}
 	}
 	p.tags.InvalidateThread(thread)
@@ -688,13 +761,14 @@ func (p *ViReC) ThreadHalted(thread int) {
 	}
 	// Release the sticky pin on the dead thread's system-register line.
 	p.sysBsi.pushStore(&bsiOp{addr: p.layout.SysRegAddr(thread), kind: mem.Write,
-		noCrit: true, unpin: true})
+		noCrit: true, unpin: true, thread: int32(thread)})
 }
 
 // Tick drives the register BSI and the CSL's system-register engine; the
 // register BSI goes first, so fills win the dcache port over sysreg
 // prefetches.
 func (p *ViReC) Tick(cycle uint64) {
+	p.cycle = cycle
 	p.bsi.Tick(cycle)
 	p.sysBsi.Tick(cycle)
 	p.pfBsi.Tick(cycle)

@@ -26,6 +26,12 @@ type Options struct {
 	// 1 runs everything serially inline, 0 or negative uses all CPUs.
 	// Results are byte-identical at any setting (see internal/sweep).
 	Parallel int
+
+	// OnResult, when set, observes every simulation result an experiment
+	// produces, in submission order regardless of Parallel (so a telemetry
+	// merge over it is deterministic). It runs on the caller's goroutine
+	// after each sweep completes.
+	OnResult func(*sim.Result)
 }
 
 // engine returns the sweep engine the Parallel setting selects.
@@ -51,7 +57,16 @@ func (b *batch) add(cfg sim.Config) int {
 
 // run executes every queued sim with opt's engine.
 func (b *batch) run(opt Options) ([]*sim.Result, error) {
-	return sweep.Sims(opt.engine(), b.cfgs)
+	results, err := sweep.Sims(opt.engine(), b.cfgs)
+	if err != nil {
+		return nil, err
+	}
+	if opt.OnResult != nil {
+		for _, r := range results {
+			opt.OnResult(r)
+		}
+	}
+	return results, nil
 }
 
 // Report is the output of one experiment.

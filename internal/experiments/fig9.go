@@ -103,19 +103,37 @@ func fig9(opt Options) (*Report, error) {
 	}
 	rep.Tables = append(rep.Tables, table)
 
+	// geo reduces one (threads, config) series, failing loudly when a
+	// series is empty or carries a nonpositive measurement instead of
+	// letting a NaN land in the table.
+	geo := func(threads int, config string) (float64, error) {
+		g, err := stats.GeoMeanErr(norm[key{threads, config}])
+		if err != nil {
+			return 0, fmt.Errorf("fig9: %d threads, %s: %w", threads, config, err)
+		}
+		return g, nil
+	}
+
 	mean := stats.NewTable("threads", "virec40", "virec60", "virec80", "pf_full", "pf_exact")
 	for _, threads := range threadCounts {
 		row := []any{threads}
 		for _, c := range []string{"virec40", "virec60", "virec80", "pf_full", "pf_exact"} {
-			row = append(row, stats.GeoMean(norm[key{threads, c}]))
+			g, err := geo(threads, c)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, g)
 		}
 		mean.AddRow(row...)
 	}
 	rep.Tables = append(rep.Tables, mean)
 
 	for _, threads := range threadCounts {
-		v80 := stats.GeoMean(norm[key{threads, "virec80"}])
-		v40 := stats.GeoMean(norm[key{threads, "virec40"}])
+		v80, err80 := geo(threads, "virec80")
+		v40, err40 := geo(threads, "virec40")
+		if err80 != nil || err40 != nil {
+			continue // already reported via the mean table above
+		}
 		rep.notef("%d threads: ViReC keeps %s of banked performance at 80%% context, %s at 40%%",
 			threads, fmt.Sprintf("%.1f%%", v80*100), fmt.Sprintf("%.1f%%", v40*100))
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/virec/virec/internal/area"
 	"github.com/virec/virec/internal/cpu/regfile"
 	"github.com/virec/virec/internal/sim"
@@ -64,20 +66,26 @@ func headline(opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	geo := func(row int) float64 {
+	geo := func(row int) (float64, error) {
 		var perfs []float64
 		for i := range wls {
 			perfs = append(perfs, perfOf(8*iters, results[row*len(wls)+i].Cycles, 1.0))
 		}
-		return stats.GeoMean(perfs)
+		return stats.GeoMeanErr(perfs)
 	}
 
-	banked := geo(0)
+	banked, err := geo(0)
+	if err != nil {
+		return nil, fmt.Errorf("headline: banked row: %w", err)
+	}
 	table := stats.NewTable("config", "geomean_perf", "vs_banked")
 	table.AddRow("banked", banked, 1.0)
 	perf := map[string]float64{"banked": banked}
 	for i, r := range rows[1:] {
-		p := geo(i + 1)
+		p, err := geo(i + 1)
+		if err != nil {
+			return nil, fmt.Errorf("headline: %s row: %w", r.name, err)
+		}
 		perf[r.name] = p
 		table.AddRow(r.name, p, p/banked)
 	}
@@ -135,19 +143,25 @@ func ablations(opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	geo := func(row int) float64 {
+	geo := func(row int) (float64, error) {
 		var perfs []float64
 		for i := range wls {
 			perfs = append(perfs, perfOf(8*iters, results[row*len(wls)+i].Cycles, 1.0))
 		}
-		return stats.GeoMean(perfs)
+		return stats.GeoMeanErr(perfs)
 	}
 
-	baseline := geo(0)
+	baseline, err := geo(0)
+	if err != nil {
+		return nil, fmt.Errorf("ablations: baseline row: %w", err)
+	}
 	table := stats.NewTable("ablation", "geomean_perf", "vs_full_virec")
 	table.AddRow(cases[0].name, baseline, 1.0)
 	for i, c := range cases[1:] {
-		p := geo(i + 1)
+		p, err := geo(i + 1)
+		if err != nil {
+			return nil, fmt.Errorf("ablations: %s row: %w", c.name, err)
+		}
 		table.AddRow(c.name, p, p/baseline)
 	}
 	rep.Tables = append(rep.Tables, table)

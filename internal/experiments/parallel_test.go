@@ -1,7 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"testing"
+
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/sweep"
+	"github.com/virec/virec/internal/telemetry"
+	"github.com/virec/virec/internal/vrmu"
+	"github.com/virec/virec/internal/workloads"
 )
 
 // TestParallelMatchesSerial is the experiment-level determinism contract:
@@ -28,6 +35,111 @@ func TestParallelMatchesSerial(t *testing.T) {
 				t.Error("parallel CSV differs from serial")
 			}
 		})
+	}
+}
+
+// traceRun simulates one traced ViReC config and returns the JSONL event
+// stream and the compact metrics-snapshot JSON.
+func traceRun(t *testing.T, seed uint64) (trace, metrics []byte) {
+	t.Helper()
+	w, _ := workloads.ByName("gather")
+	var buf bytes.Buffer
+	cfg := sim.Config{
+		Kind: sim.ViReC, ThreadsPerCore: 4,
+		Workload: w, Iters: 24, Seed: seed,
+		ContextPct: 60, Policy: vrmu.LRC,
+		TraceEvents: 256,
+		TraceSink: func(evs []telemetry.Event) {
+			if err := telemetry.WriteEventsJSONL(&buf, evs); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	res, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := res.Metrics.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), snap
+}
+
+// TestTraceAndMetricsDeterminism is the telemetry determinism contract:
+// the same seed and schedule must produce a byte-identical JSONL event
+// trace and metrics snapshot on every run, and the per-job snapshots a
+// parallel sweep merges must be byte-identical to the serial sweep's.
+func TestTraceAndMetricsDeterminism(t *testing.T) {
+	tr1, m1 := traceRun(t, 7)
+	tr2, m2 := traceRun(t, 7)
+	if !bytes.Equal(tr1, tr2) {
+		t.Error("same-seed runs produced different JSONL traces")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("same-seed runs produced different metrics snapshots")
+	}
+	if len(tr1) == 0 || len(m1) == 0 {
+		t.Fatal("trace or metrics output empty")
+	}
+
+	trOther, _ := traceRun(t, 8)
+	if bytes.Equal(tr1, trOther) {
+		t.Error("different seeds produced identical traces (tracer not capturing run behaviour?)")
+	}
+
+	// Serial vs parallel sweep: the merged aggregate and every per-job
+	// snapshot must match byte for byte.
+	w, _ := workloads.ByName("gather")
+	var cfgs []sim.Config
+	for i := 0; i < 6; i++ {
+		cfgs = append(cfgs, sim.Config{
+			Kind: sim.ViReC, ThreadsPerCore: 4,
+			Workload: w, Iters: 24, Seed: uint64(100 + i),
+			ContextPct: 60, Policy: vrmu.LRC,
+		})
+	}
+	serialRes, serialAgg, err := sweep.SimsMerged(sweep.Serial, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, parAgg, err := sweep.SimsMerged(sweep.New(4), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := serialAgg.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := parAgg.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("parallel aggregate snapshot differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sj, pj)
+	}
+	for i := range serialRes {
+		a, err := serialRes[i].Metrics.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parRes[i].Metrics.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("job %d snapshot differs between serial and parallel", i)
+		}
+	}
+
+	// Reconciliation: registry counters alias the Stats fields, so the
+	// snapshot must agree exactly with the values report tables print.
+	snap := serialRes[0].Metrics
+	if got, want := snap.Counter("core0/ctx_switches"), serialRes[0].CoreStats[0].ContextSwitches; got != want {
+		t.Errorf("ctx_switches: snapshot %d != CoreStats %d", got, want)
+	}
+	if got, want := snap.Counter("rf0/vrmu/misses"), serialRes[0].TagStats[0].Misses; got != want {
+		t.Errorf("rf misses: snapshot %d != TagStats %d", got, want)
 	}
 }
 

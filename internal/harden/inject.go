@@ -6,6 +6,7 @@ import (
 
 	"github.com/virec/virec/internal/mem"
 	"github.com/virec/virec/internal/mem/cache"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // InjectStats counts the perturbations an injector applied.
@@ -17,6 +18,19 @@ type InjectStats struct {
 	Storms       uint64 // eviction storms fired
 	StormFetches uint64 // conflicting line fetches the cache accepted
 	BlockedFills uint64 // register fills rejected by BlockRegisterFills
+}
+
+// RegisterMetrics wires the injector's perturbation counters into a
+// telemetry registry under prefix (e.g. "inject0").
+func (inj *Injector) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	s := &inj.Stats
+	r.Counter(prefix+"/jittered", &s.Jittered)
+	r.Counter(prefix+"/jitter_cycles", &s.JitterCycles)
+	r.Counter(prefix+"/busy_bursts", &s.BusyBursts)
+	r.Counter(prefix+"/busy_rejects", &s.BusyRejects)
+	r.Counter(prefix+"/storms", &s.Storms)
+	r.Counter(prefix+"/storm_fetches", &s.StormFetches)
+	r.Counter(prefix+"/blocked_fills", &s.BlockedFills)
 }
 
 // Injector sits between a core (pipeline, store queue and register

@@ -6,6 +6,7 @@ import (
 
 	"github.com/virec/virec/internal/cpu"
 	"github.com/virec/virec/internal/mem/cache"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // Watchdog detects livelock and deadlock: a system that ticks without any
@@ -62,7 +63,14 @@ type SystemView struct {
 	DCaches   []*cache.Cache
 	ICaches   []*cache.Cache
 	Injectors []*Injector
+
+	// Tracer, when non-nil, contributes its most recent events to Dump so
+	// a livelock report shows what the cores were actually doing.
+	Tracer *telemetry.Tracer
 }
+
+// dumpTraceTail is how many trailing trace events a diagnostic dump embeds.
+const dumpTraceTail = 64
 
 // Dump renders a structured diagnostic snapshot: per-thread PC and state,
 // pipeline stage occupancy, dcache residency/pin/MSHR counts, the
@@ -85,6 +93,10 @@ func Dump(v SystemView) string {
 		if i < len(v.Injectors) {
 			writeIndented(&b, v.Injectors[i].DiagDump())
 		}
+	}
+	if tail := v.Tracer.TailString(dumpTraceTail); tail != "" {
+		fmt.Fprintf(&b, "last %d trace events (of %d emitted):\n", len(v.Tracer.LastN(dumpTraceTail)), v.Tracer.Total())
+		b.WriteString(tail)
 	}
 	return b.String()
 }

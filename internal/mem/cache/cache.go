@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // Config parameterizes a cache instance.
@@ -152,6 +153,16 @@ type Cache struct {
 	acceptedNow int
 	now         uint64
 
+	// pinnedNow is a running count of valid pinned lines, maintained at
+	// the pin-transition sites so telemetry and invariants never need the
+	// full-array scan PinnedLines() does.
+	pinnedNow int
+
+	// Telemetry (nil when disabled; Emit/Observe are nil-safe).
+	tracer     *telemetry.Tracer
+	traceCore  int32
+	pinnedHist *telemetry.Histogram
+
 	// Stats is exported read-only for reporting.
 	Stats Stats
 }
@@ -283,21 +294,44 @@ func (c *Cache) touchRegLine(ln *line, r *mem.Request) {
 	if c.cfg.PinningDisabled {
 		return
 	}
+	wasPinned := ln.pin > 0 || ln.sticky
 	if r.Unpin {
 		ln.sticky = false
 		ln.pin = 0
+	} else {
+		if r.PinSticky {
+			ln.sticky = true
+		}
+		if r.Kind == mem.Read {
+			if ln.pin < maxPin {
+				ln.pin++
+			}
+		} else if ln.pin > 0 {
+			ln.pin--
+		}
+	}
+	c.pinTransition(ln, wasPinned, r.Addr.LineAddr())
+}
+
+// pinTransition updates the running pinned-line count and emits the
+// pin/unpin trace events when a line crosses the pinned boundary.
+func (c *Cache) pinTransition(ln *line, wasPinned bool, la mem.Addr) {
+	nowPinned := ln.pin > 0 || ln.sticky
+	if wasPinned == nowPinned {
 		return
 	}
-	if r.PinSticky {
-		ln.sticky = true
-	}
-	if r.Kind == mem.Read {
-		if ln.pin < maxPin {
-			ln.pin++
+	if nowPinned {
+		c.pinnedNow++
+		if c.tracer != nil {
+			c.tracer.Emit(c.now, telemetry.EvPin, c.traceCore, telemetry.NoThread, uint64(la), 0, 0)
 		}
-	} else if ln.pin > 0 {
-		ln.pin--
+	} else {
+		c.pinnedNow--
+		if c.tracer != nil {
+			c.tracer.Emit(c.now, telemetry.EvUnpin, c.traceCore, telemetry.NoThread, uint64(la), 0, 0)
+		}
 	}
+	c.pinnedHist.Observe(uint64(c.pinnedNow))
 }
 
 // signalMiss raises the context-switch signal for data load misses.
@@ -385,6 +419,15 @@ func (c *Cache) fillDone(m *mshr, cycle uint64) {
 			Kind: mem.Write,
 		})
 	}
+	if ln.valid && (ln.pin > 0 || ln.sticky) {
+		// A pinned line sacrificed for this fill leaves the pinned set.
+		c.pinnedNow--
+		if c.tracer != nil {
+			c.tracer.Emit(cycle, telemetry.EvUnpin, c.traceCore, telemetry.NoThread,
+				uint64(c.lineAddrOf(m.set, ln.tag)), 0, 0)
+		}
+		c.pinnedHist.Observe(uint64(c.pinnedNow))
+	}
 	_, tag := c.index(m.lineAddr)
 	c.useClock++
 	*ln = line{tag: tag, valid: true, dirty: m.dirtyOnFill, lastUse: c.useClock}
@@ -458,6 +501,33 @@ func (c *Cache) PinnedGeneralRegLines() int {
 // MSHRsInUse returns the number of allocated MSHRs (diagnostics).
 func (c *Cache) MSHRsInUse() int { return len(c.mshrs) }
 
+// SetTelemetry attaches the cycle-level tracer (pin/unpin events).
+func (c *Cache) SetTelemetry(tr *telemetry.Tracer, coreID int) {
+	c.tracer = tr
+	c.traceCore = int32(coreID)
+}
+
+// RegisterMetrics wires the cache's counters, occupancy gauges and the
+// pinned-line histogram into a registry under prefix (e.g. "dcache0").
+func (c *Cache) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	s := &c.Stats
+	r.Counter(prefix+"/hits", &s.Hits)
+	r.Counter(prefix+"/misses", &s.Misses)
+	r.Counter(prefix+"/merged_misses", &s.MergedMisses)
+	r.Counter(prefix+"/writebacks", &s.Writebacks)
+	r.Counter(prefix+"/fills", &s.Fills)
+	r.Counter(prefix+"/port_rejects", &s.PortRejects)
+	r.Counter(prefix+"/mshr_rejects", &s.MSHRRejects)
+	r.Counter(prefix+"/pinned_evicts", &s.PinnedEvicts)
+	r.Counter(prefix+"/reg_reads", &s.RegReads)
+	r.Counter(prefix+"/reg_writes", &s.RegWrites)
+	r.Counter(prefix+"/data_load_miss", &s.DataLoadMiss)
+	r.Gauge(prefix+"/pinned_lines", func() float64 { return float64(c.PinnedLines()) })
+	r.Gauge(prefix+"/mshrs_in_use", func() float64 { return float64(len(c.mshrs)) })
+	c.pinnedHist = r.Histogram(prefix+"/pinned_lines_hist",
+		telemetry.LinearBuckets(0, 4, 16))
+}
+
 // CheckInvariants validates internal consistency; tests call it after
 // workloads run. It returns a descriptive error string or "".
 func (c *Cache) CheckInvariants() string {
@@ -477,6 +547,9 @@ func (c *Cache) CheckInvariants() string {
 				return fmt.Sprintf("set %d way %d pinned with pinning disabled", s, w)
 			}
 		}
+	}
+	if n := c.PinnedLines(); n != c.pinnedNow {
+		return fmt.Sprintf("running pinned-line count %d disagrees with %d pinned lines", c.pinnedNow, n)
 	}
 	return ""
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // Config parameterizes the memory model. The defaults follow the paper's
@@ -66,6 +67,21 @@ func (s *Stats) AvgReadLatency() float64 {
 		return 0
 	}
 	return float64(s.TotalLatency) / float64(s.Reads)
+}
+
+// RegisterMetrics wires the controller's counters into a telemetry
+// registry under prefix (e.g. "dram"). Counters alias the Stats fields.
+func (d *DRAM) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	s := &d.Stats
+	r.Counter(prefix+"/reads", &s.Reads)
+	r.Counter(prefix+"/writes", &s.Writes)
+	r.Counter(prefix+"/row_hits", &s.RowHits)
+	r.Counter(prefix+"/row_misses", &s.RowMisses)
+	r.Counter(prefix+"/row_conflicts", &s.RowConflicts)
+	r.Counter(prefix+"/total_read_latency", &s.TotalLatency)
+	r.Counter(prefix+"/rejected", &s.Rejected)
+	r.Gauge(prefix+"/avg_read_latency", s.AvgReadLatency)
+	r.Gauge(prefix+"/queue_occupancy", func() float64 { return float64(d.QueueOccupancy()) })
 }
 
 type bank struct {

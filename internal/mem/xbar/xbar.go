@@ -9,6 +9,7 @@ import (
 	"container/heap"
 
 	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // Config parameterizes the crossbar.
@@ -29,6 +30,15 @@ type Stats struct {
 	Forwarded uint64
 	Rejected  uint64
 	MaxQueue  int
+}
+
+// RegisterMetrics wires the crossbar's counters into a telemetry registry
+// under prefix (e.g. "xbar"). Counters alias the Stats fields.
+func (x *Xbar) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	s := &x.Stats
+	r.Counter(prefix+"/forwarded", &s.Forwarded)
+	r.Counter(prefix+"/rejected", &s.Rejected)
+	r.Gauge(prefix+"/max_queue", func() float64 { return float64(s.MaxQueue) })
 }
 
 type event struct {

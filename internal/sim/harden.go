@@ -63,6 +63,7 @@ func (s *System) view() harden.SystemView {
 		DCaches:   s.DCaches,
 		ICaches:   s.ICaches,
 		Injectors: s.Injectors,
+		Tracer:    s.Tracer,
 	}
 }
 

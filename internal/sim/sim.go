@@ -20,6 +20,7 @@ import (
 	"github.com/virec/virec/internal/mem/cache"
 	"github.com/virec/virec/internal/mem/dram"
 	"github.com/virec/virec/internal/mem/xbar"
+	"github.com/virec/virec/internal/telemetry"
 	"github.com/virec/virec/internal/vrmu"
 	"github.com/virec/virec/internal/workloads"
 )
@@ -118,6 +119,23 @@ type Config struct {
 	// unchanged (a final invariant sweep always runs).
 	Harden harden.Config
 
+	// TraceEvents, when > 0, enables the cycle-level event tracer with a
+	// ring buffer of that many events. Without a sink the ring keeps the
+	// most recent events (watchdog dumps embed the tail); with TraceSink
+	// set, full batches stream out as the ring fills, so a complete run
+	// trace costs bounded memory. Zero leaves tracing fully disabled —
+	// the emit paths then cost one branch and zero allocations.
+	TraceEvents int
+	// TraceSink receives event batches in emit order (see TraceEvents).
+	// The slice is reused after the call returns.
+	TraceSink func([]telemetry.Event)
+
+	// MetricsEvery, when > 0 together with OnMetrics, delivers a metrics
+	// snapshot every that many cycles (watching livelocks develop).
+	MetricsEvery uint64
+	// OnMetrics receives the periodic snapshots.
+	OnMetrics func(*telemetry.Snapshot)
+
 	MaxCycles uint64
 }
 
@@ -190,6 +208,16 @@ type System struct {
 	// (pipeline, store queue, register provider) and its dcache.
 	Injectors []*harden.Injector
 
+	// Registry is the run's unified metric namespace: every structure's
+	// counters, gauges and histograms live here under per-structure
+	// prefixes (core0/..., rf0/..., dcache0/..., dram/..., xbar/...).
+	// Always built — registration is pointer aliasing, so it costs the
+	// hot paths nothing.
+	Registry *telemetry.Registry
+	// Tracer is the cycle-level event tracer, nil unless
+	// Config.TraceEvents > 0.
+	Tracer *telemetry.Tracer
+
 	verifies [][]workloads.Verify
 }
 
@@ -217,6 +245,13 @@ func New(cfg Config) (*System, error) {
 	}
 
 	s := &System{cfg: cfg, Memory: mem.NewMemory()}
+	s.Registry = telemetry.NewRegistry()
+	if cfg.TraceEvents > 0 {
+		s.Tracer = telemetry.NewTracer(cfg.TraceEvents)
+		if cfg.TraceSink != nil {
+			s.Tracer.SetSink(cfg.TraceSink)
+		}
+	}
 
 	// Memory side: either the DRAM model behind the crossbar, or a fixed
 	// latency device for controlled sweeps.
@@ -226,9 +261,11 @@ func New(cfg Config) (*System, error) {
 		below = s.fixed
 	} else {
 		s.DRAM = dram.New(cfg.DRAM)
+		s.DRAM.RegisterMetrics(s.Registry, "dram")
 		below = s.DRAM
 	}
 	s.Xbar = xbar.New(cfg.Xbar, below)
+	s.Xbar.RegisterMetrics(s.Registry, "xbar")
 
 	pipeCfg := cfg.Pipeline
 	pipeCfg.Threads = cfg.ThreadsPerCore
@@ -254,6 +291,8 @@ func New(cfg Config) (*System, error) {
 			ccfg.RegRegionSize = layout.Size(cfg.ThreadsPerCore)
 		}
 		dc := cache.New(ccfg, s.Xbar)
+		dc.RegisterMetrics(s.Registry, fmt.Sprintf("dcache%d", coreID))
+		dc.SetTelemetry(s.Tracer, coreID)
 		s.DCaches = append(s.DCaches, dc)
 
 		// The core and its register provider see the dcache through the
@@ -263,6 +302,7 @@ func New(cfg Config) (*System, error) {
 		if cfg.Harden.FaultSeed != 0 {
 			inj := harden.NewInjector(cfg.Harden.ResolvedPlan(),
 				cfg.Harden.FaultSeed+uint64(coreID)*0x9e3779b97f4a7c15, dc)
+			inj.RegisterMetrics(s.Registry, fmt.Sprintf("inject%d", coreID))
 			s.Injectors = append(s.Injectors, inj)
 			dcDev = inj
 		}
@@ -277,6 +317,7 @@ func New(cfg Config) (*System, error) {
 				MSHRs:      4,
 				Ports:      1,
 			}, s.Xbar)
+			ic.RegisterMetrics(s.Registry, fmt.Sprintf("icache%d", coreID))
 			s.ICaches = append(s.ICaches, ic)
 		}
 
@@ -316,7 +357,14 @@ func New(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("sim: unknown core kind %d", cfg.Kind)
 		}
 
+		if v, ok := provider.(*regfile.ViReC); ok {
+			v.RegisterMetrics(s.Registry, fmt.Sprintf("rf%d", coreID))
+			v.SetTelemetry(s.Tracer, coreID)
+		}
+
 		core := cpu.New(pipeCfg, provider, dcDev, s.Memory)
+		core.RegisterMetrics(s.Registry, fmt.Sprintf("core%d", coreID))
+		core.SetTelemetry(s.Tracer, coreID)
 		if ic != nil {
 			core.SetICache(ic)
 			base := progBase + mem.Addr(coreID)*0x10_0000
@@ -424,6 +472,11 @@ type Result struct {
 	DRAMStats   *dram.Stats
 	// TagStats is present for ViReC systems (register hit rates).
 	TagStats []vrmu.Stats
+	// Metrics is the end-of-run snapshot of the system's telemetry
+	// registry: every structure's counters, gauges and histograms under
+	// one label-addressed namespace. The counters alias the same memory
+	// as the Stats structs above, so the two views reconcile exactly.
+	Metrics *telemetry.Snapshot
 }
 
 // Run simulates until every core finishes (or MaxCycles elapse) and
@@ -497,6 +550,11 @@ func (s *System) Run() (res *Result, err error) {
 				}
 			}
 		}
+		if k := cfg.MetricsEvery; k > 0 && cfg.OnMetrics != nil && cycle%k == k-1 {
+			snap := s.Registry.Snapshot()
+			snap.Cycle = cycle + 1
+			cfg.OnMetrics(snap)
+		}
 	}
 	if cycle >= cfg.MaxCycles {
 		return nil, s.maxCyclesError(lastInsts, lastCommit)
@@ -537,6 +595,9 @@ func (s *System) Run() (res *Result, err error) {
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Insts) / float64(res.Cycles)
 	}
+	s.Tracer.Flush()
+	res.Metrics = s.Registry.Snapshot()
+	res.Metrics.Cycle = res.Cycles
 	return res, nil
 }
 

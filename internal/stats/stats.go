@@ -5,25 +5,48 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 )
 
-// GeoMean returns the geometric mean of xs; zero and negative values are
-// rejected by returning NaN (they indicate a broken measurement).
-func GeoMean(xs []float64) float64 {
+// Sentinel errors distinguishing the two ways a geometric mean can be
+// undefined. An empty input usually means a sweep produced no rows for a
+// series (a harness bug); a nonpositive value means a simulation reported
+// a broken measurement (zero IPC, negative speedup). Both used to come
+// back as one silent NaN.
+var (
+	// ErrEmptyInput reports a geomean over zero measurements.
+	ErrEmptyInput = errors.New("stats: geometric mean of empty input")
+	// ErrNonpositive reports a zero or negative measurement.
+	ErrNonpositive = errors.New("stats: geometric mean input must be positive")
+)
+
+// GeoMeanErr returns the geometric mean of xs, or a sentinel error
+// (ErrEmptyInput, ErrNonpositive — test with errors.Is) naming which
+// contract the input broke. Experiment code reducing sweep results should
+// prefer this over GeoMean so a silent NaN cannot propagate into a table.
+func GeoMeanErr(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return math.NaN()
+		return math.NaN(), ErrEmptyInput
 	}
 	sum := 0.0
 	for _, x := range xs {
 		if x <= 0 {
-			return math.NaN()
+			return math.NaN(), fmt.Errorf("%w (got %v)", ErrNonpositive, x)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// GeoMean returns the geometric mean of xs; zero and negative values and
+// empty input are rejected by returning NaN (they indicate a broken
+// measurement). Callers that need to know which happened use GeoMeanErr.
+func GeoMean(xs []float64) float64 {
+	g, _ := GeoMeanErr(xs)
+	return g
 }
 
 // Mean returns the arithmetic mean of xs (NaN when empty).

@@ -1,11 +1,40 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+func TestGeoMeanErrSentinels(t *testing.T) {
+	if g, err := GeoMeanErr([]float64{2, 8}); err != nil || g != 4 {
+		t.Errorf("GeoMeanErr(2,8) = %v, %v; want 4, nil", g, err)
+	}
+	g, err := GeoMeanErr(nil)
+	if !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("GeoMeanErr(nil) err = %v, want ErrEmptyInput", err)
+	}
+	if !math.IsNaN(g) {
+		t.Errorf("GeoMeanErr(nil) = %v, want NaN", g)
+	}
+	if _, err := GeoMeanErr([]float64{}); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("GeoMeanErr(empty) err = %v, want ErrEmptyInput", err)
+	}
+	for _, xs := range [][]float64{{1, 0}, {1, -2}, {0}} {
+		g, err := GeoMeanErr(xs)
+		if !errors.Is(err, ErrNonpositive) {
+			t.Errorf("GeoMeanErr(%v) err = %v, want ErrNonpositive", xs, err)
+		}
+		if errors.Is(err, ErrEmptyInput) {
+			t.Errorf("GeoMeanErr(%v) must not be ErrEmptyInput", xs)
+		}
+		if !math.IsNaN(g) {
+			t.Errorf("GeoMeanErr(%v) = %v, want NaN", xs, g)
+		}
+	}
+}
 
 func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{2, 8}); g != 4 {

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // Engine is a sweep executor with a fixed worker count. The zero value is
@@ -175,4 +176,29 @@ func Sims(e Engine, cfgs []sim.Config) ([]*sim.Result, error) {
 	return Map(e, cfgs, func(cfg sim.Config, _ int) (*sim.Result, error) {
 		return sim.Simulate(cfg)
 	})
+}
+
+// SimsMerged runs one simulation per config and additionally folds every
+// job's telemetry snapshot into one aggregate, merged in submission order
+// (counters and histogram buckets add element-wise; the aggregate's Cycle
+// is the maximum job cycle). Because each job registers the same metric
+// names, the merge is well-defined, and submission-order folding keeps the
+// aggregate byte-identical between serial and parallel execution. The
+// aggregate is nil when cfgs is empty.
+func SimsMerged(e Engine, cfgs []sim.Config) ([]*sim.Result, *telemetry.Snapshot, error) {
+	results, err := Sims(e, cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var agg *telemetry.Snapshot
+	for _, r := range results {
+		if r.Metrics == nil {
+			continue
+		}
+		if agg == nil {
+			agg = &telemetry.Snapshot{}
+		}
+		agg.Merge(r.Metrics)
+	}
+	return results, agg, nil
 }

@@ -1,0 +1,369 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGaugeSnapshot(t *testing.T) {
+	r := NewRegistry()
+	var hits uint64
+	r.Counter("core0/hits", &hits)
+	r.Gauge("core0/occupancy", func() float64 { return 0.5 })
+
+	hits = 7
+	s := r.Snapshot()
+	if got := s.Counter("core0/hits"); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if got := s.Gauges["core0/occupancy"]; got != 0.5 {
+		t.Fatalf("gauge = %v, want 0.5", got)
+	}
+	// Snapshot is a copy: later increments must not leak in.
+	hits = 100
+	if got := s.Counter("core0/hits"); got != 7 {
+		t.Fatalf("snapshot mutated after the fact: %d", got)
+	}
+}
+
+func TestRegistryCollisionPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		reg  func(r *Registry)
+	}{
+		{"counter/counter", func(r *Registry) {
+			var a, b uint64
+			r.Counter("x", &a)
+			r.Counter("x", &b)
+		}},
+		{"counter/gauge", func(r *Registry) {
+			var a uint64
+			r.Counter("x", &a)
+			r.Gauge("x", func() float64 { return 0 })
+		}},
+		{"histogram/counter", func(r *Registry) {
+			var a uint64
+			r.Histogram("x", []uint64{1, 2})
+			r.Counter("x", &a)
+		}},
+		{"empty name", func(r *Registry) {
+			var a uint64
+			r.Counter("", &a)
+		}},
+		{"nil counter", func(r *Registry) {
+			r.Counter("x", nil)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("registration should have panicked")
+				}
+			}()
+			tc.reg(NewRegistry())
+		})
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{10, 20, 40})
+
+	// Zero observations: everything empty, Mean well-defined.
+	s0 := r.Snapshot().Histograms["lat"]
+	if s0.Count != 0 || s0.Sum != 0 || s0.Min != 0 || s0.Max != 0 {
+		t.Fatalf("empty histogram snapshot not zeroed: %+v", s0)
+	}
+	if s0.Mean() != 0 {
+		t.Fatalf("empty Mean = %v, want 0", s0.Mean())
+	}
+
+	h.Observe(0)   // below first bound -> bucket 0
+	h.Observe(10)  // at bound, inclusive -> bucket 0
+	h.Observe(11)  // -> bucket 1
+	h.Observe(40)  // at last bound -> bucket 2
+	h.Observe(999) // above last bound -> overflow bucket 3
+
+	s := r.Snapshot().Histograms["lat"]
+	want := []uint64{2, 1, 1, 1}
+	if len(s.Counts) != len(s.Bounds)+1 {
+		t.Fatalf("counts len %d, want bounds+1 = %d", len(s.Counts), len(s.Bounds)+1)
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 5 || s.Sum != 1060 || s.Min != 0 || s.Max != 999 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+
+	// Nil handle is a no-op, not a crash.
+	var nh *Histogram
+	nh.Observe(5)
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]uint64{nil, {}, {5, 5}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bounds %v should have panicked", bounds)
+				}
+			}()
+			NewRegistry().Histogram("h", bounds)
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 2, 4)
+	for i, w := range []uint64{0, 2, 4, 6} {
+		if lin[i] != w {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+	p2 := Pow2Buckets(4, 4)
+	for i, w := range []uint64{4, 8, 16, 32} {
+		if p2[i] != w {
+			t.Fatalf("Pow2Buckets = %v", p2)
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(hits uint64, obs ...uint64) *Snapshot {
+		r := NewRegistry()
+		c := hits
+		r.Counter("hits", &c)
+		r.Gauge("g", func() float64 { return 1 })
+		h := r.Histogram("lat", []uint64{10, 20})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a := mk(3, 5, 15)
+	b := mk(4, 25, 2)
+	a.Merge(b)
+	if a.Counter("hits") != 7 {
+		t.Fatalf("merged counter = %d", a.Counter("hits"))
+	}
+	if a.Gauges["g"] != 2 {
+		t.Fatalf("merged gauge = %v", a.Gauges["g"])
+	}
+	h := a.Histograms["lat"]
+	if h.Count != 4 || h.Min != 2 || h.Max != 25 || h.Sum != 47 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	wantCounts := []uint64{2, 1, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Fatalf("merged counts = %v, want %v", h.Counts, wantCounts)
+		}
+	}
+	// Merge into an empty snapshot works too.
+	var empty Snapshot
+	empty.Merge(b)
+	if empty.Counter("hits") != 4 || empty.Histograms["lat"].Count != 2 {
+		t.Fatalf("merge into empty failed: %+v", empty)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	mk := func() []byte {
+		r := NewRegistry()
+		var a, b uint64 = 1, 2
+		r.Counter("z/last", &a)
+		r.Counter("a/first", &b)
+		r.Gauge("m/gauge", func() float64 { return 3.5 })
+		r.Histogram("h/lat", []uint64{1, 2}).Observe(1)
+		out, err := r.Snapshot().MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("snapshot JSON not byte-deterministic")
+	}
+}
+
+func TestTracerRingMode(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(uint64(i), EvStage, 0, int32(i), 0, 0, 0)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	last := tr.LastN(3)
+	if len(last) != 3 {
+		t.Fatalf("LastN(3) returned %d events", len(last))
+	}
+	for i, want := range []uint64{7, 8, 9} {
+		if last[i].Cycle != want {
+			t.Fatalf("LastN = %+v", last)
+		}
+	}
+	// Asking for more than held returns only what the ring holds.
+	if got := len(tr.LastN(100)); got != 4 {
+		t.Fatalf("LastN(100) = %d events, want 4", got)
+	}
+	if tr.TailString(2) == "" {
+		t.Fatal("TailString empty")
+	}
+}
+
+func TestTracerStreamingSink(t *testing.T) {
+	tr := NewTracer(4)
+	var got []Event
+	tr.SetSink(func(evs []Event) {
+		got = append(got, evs...)
+	})
+	for i := 0; i < 10; i++ {
+		tr.Emit(uint64(i), EvFill, 1, 2, uint64(i), 0, 0)
+	}
+	tr.Flush()
+	if len(got) != 10 {
+		t.Fatalf("sink received %d events, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.Cycle != uint64(i) || e.Arg0 != uint64(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	// Flush with nothing buffered is a no-op.
+	tr.Flush()
+	if len(got) != 10 {
+		t.Fatal("empty Flush re-delivered events")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, EvStage, 0, 0, 0, 0, 0)
+	tr.Flush()
+	if tr.Total() != 0 || tr.LastN(5) != nil || tr.TailString(5) != "" {
+		t.Fatal("nil tracer should be inert")
+	}
+}
+
+func TestWriteEventsJSONL(t *testing.T) {
+	evs := []Event{
+		{Cycle: 1, Kind: EvSwitch, Core: 0, Thread: 2, Arg0: ^uint64(0), Arg1: SwitchLoadMiss},
+		{Cycle: 5, Kind: EvPin, Core: 1, Thread: NoThread, Arg0: 0x100040},
+	}
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q not valid JSON: %v", line, err)
+		}
+		for _, k := range []string{"cycle", "kind", "core", "thread", "arg0", "arg1", "arg2"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("line %q missing field %q", line, k)
+			}
+		}
+	}
+	// Byte-determinism of the writer itself.
+	var buf2 bytes.Buffer
+	WriteEventsJSONL(&buf2, evs)
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("JSONL output not deterministic")
+	}
+}
+
+func TestChromeWriterValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChromeWriter(&buf)
+	prev := ^uint64(0) // no previous thread
+	evs := []Event{
+		{Cycle: 0, Kind: EvSwitch, Core: 0, Thread: 0, Arg0: prev, Arg1: SwitchStart},
+		{Cycle: 1, Kind: EvStage, Core: 0, Thread: 0, Arg0: StageDecode, Arg1: 0x40, Arg2: 1},
+		{Cycle: 2, Kind: EvStage, Core: 0, Thread: 0, Arg0: StageExecute, Arg1: 0x40, Arg2: 1},
+		{Cycle: 3, Kind: EvRFMiss, Core: 0, Thread: 0, Arg0: 7},
+		{Cycle: 4, Kind: EvFill, Core: 0, Thread: 0, Arg0: 0x100000},
+		{Cycle: 9, Kind: EvFillDone, Core: 0, Thread: 0, Arg0: 0x100000, Arg1: 5},
+		{Cycle: 10, Kind: EvPin, Core: 0, Thread: NoThread, Arg0: 0x100040},
+		{Cycle: 12, Kind: EvSwitch, Core: 0, Thread: 1, Arg0: 0, Arg1: SwitchLoadMiss},
+		{Cycle: 13, Kind: EvLoadMiss, Core: 0, Thread: 1, Arg0: 0x2000},
+		{Cycle: 14, Kind: EvUnpin, Core: 0, Thread: NoThread, Arg0: 0x100040},
+	}
+	if err := cw.Write(evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(20); err != nil {
+		t.Fatal(err)
+	}
+
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(arr) == 0 {
+		t.Fatal("chrome trace empty")
+	}
+	var spans, instants, metas int
+	for _, ev := range arr {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		case "M":
+			metas++
+		default:
+			t.Fatalf("unexpected ph %q in %v", ph, ev)
+		}
+		for _, k := range []string{"pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, ev)
+			}
+		}
+	}
+	// Thread 0 ran cycles 0-12 (closed by the switch), thread 1 ran
+	// 12-20 (closed by Close): two run spans.
+	if spans != 2 {
+		t.Fatalf("got %d run spans, want 2", spans)
+	}
+	if instants == 0 || metas == 0 {
+		t.Fatalf("instants=%d metas=%d, want both > 0", instants, metas)
+	}
+}
+
+// The emit paths must be allocation-free: nil tracer, live ring tracer,
+// streaming tracer mid-batch, and histogram observation.
+func TestEmitPathsZeroAlloc(t *testing.T) {
+	var nilTr *Tracer
+	if n := testing.AllocsPerRun(100, func() {
+		nilTr.Emit(1, EvStage, 0, 0, 0, 0, 0)
+	}); n != 0 {
+		t.Fatalf("nil tracer Emit allocates %.1f/op", n)
+	}
+
+	tr := NewTracer(1024)
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Emit(1, EvStage, 0, 0, 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("ring tracer Emit allocates %.1f/op", n)
+	}
+
+	h := NewRegistry().Histogram("h", Pow2Buckets(4, 10))
+	if n := testing.AllocsPerRun(100, func() {
+		h.Observe(37)
+	}); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f/op", n)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/telemetry"
 )
 
 // Policy selects the replacement policy used by the tag store.
@@ -165,6 +166,18 @@ func NewTagStore(numPhys int, policy Policy) *TagStore {
 		entries: make([]Entry, numPhys),
 		policy:  policy,
 	}
+}
+
+// RegisterMetrics wires the tag store's counters into a registry under
+// prefix (e.g. "vrmu0"). Counters alias the Stats fields.
+func (t *TagStore) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	s := &t.Stats
+	r.Counter(prefix+"/hits", &s.Hits)
+	r.Counter(prefix+"/misses", &s.Misses)
+	r.Counter(prefix+"/evictions", &s.Evictions)
+	r.Counter(prefix+"/dirty_evicts", &s.DirtyEvict)
+	r.Counter(prefix+"/c_resets", &s.CResets)
+	r.Gauge(prefix+"/occupancy", func() float64 { return float64(t.Occupancy()) })
 }
 
 // camSlot flattens a (thread, reg) pair into a CAM table index.
