@@ -1,11 +1,14 @@
 // Command virec-asm assembles and disassembles programs for the
-// simulator's AArch64-flavoured ISA, and can run them functionally.
+// simulator's AArch64-flavoured ISA, can run them functionally, and runs
+// the ISA-level static analyzer (internal/asm/check) over them.
 //
 // Usage:
 //
 //	virec-asm file.s              # assemble, print the listing
 //	virec-asm -run file.s         # assemble and interpret until HALT
 //	virec-asm -workload gather    # disassemble a built-in kernel
+//	virec-asm -check file.s       # assemble and statically analyze
+//	virec-asm -check-workloads    # analyze every built-in kernel
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"os"
 
 	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/asm/check"
 	"github.com/virec/virec/internal/interp"
 	"github.com/virec/virec/internal/isa"
 	"github.com/virec/virec/internal/mem"
@@ -25,10 +29,17 @@ func main() {
 		run      = flag.Bool("run", false, "interpret the program until HALT")
 		workload = flag.String("workload", "", "disassemble a built-in kernel instead of reading a file")
 		maxInsts = flag.Uint64("max-insts", 100_000_000, "interpreter instruction budget")
+		doCheck  = flag.Bool("check", false, "statically analyze the program (branch targets, reachability, use-before-def, register pressure)")
+		checkAll = flag.Bool("check-workloads", false, "statically analyze every built-in kernel and exit")
 	)
 	flag.Parse()
 
+	if *checkAll {
+		os.Exit(checkWorkloads())
+	}
+
 	var prog *asm.Program
+	var entry []isa.Reg
 	switch {
 	case *workload != "":
 		w, ok := workloads.ByName(*workload)
@@ -37,6 +48,7 @@ func main() {
 			os.Exit(2)
 		}
 		prog = w.Prog
+		entry = w.EntryRegs(workloads.DefaultParams(0))
 	case flag.NArg() == 1:
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
@@ -50,12 +62,20 @@ func main() {
 		}
 		prog.Name = flag.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: virec-asm [-run] file.s | virec-asm -workload name")
+		fmt.Fprintln(os.Stderr, "usage: virec-asm [-run] [-check] file.s | virec-asm [-check] -workload name | virec-asm -check-workloads")
 		os.Exit(2)
 	}
 
 	fmt.Printf("// %s: %d instructions\n", prog.Name, prog.Len())
 	fmt.Print(asm.Disassemble(prog))
+
+	if *doCheck {
+		rep := check.Analyze(prog, entry)
+		printReport(rep)
+		if !rep.Clean() {
+			os.Exit(1)
+		}
+	}
 
 	if *run {
 		var ctx interp.Context
@@ -68,4 +88,39 @@ func main() {
 			}
 		}
 	}
+}
+
+func printReport(rep *check.Report) {
+	fmt.Printf("\ncheck: %d finding(s)", len(rep.Findings))
+	if rep.MaxLivePC >= 0 {
+		fmt.Printf(", max register pressure %d at pc %d (%v)", rep.MaxLive, rep.MaxLivePC, rep.LiveRegs)
+	}
+	fmt.Println()
+	for _, f := range rep.Findings {
+		fmt.Printf("  %s\n", f)
+	}
+}
+
+// checkWorkloads analyzes every built-in kernel with its Setup-defined
+// entry registers; returns the process exit code.
+func checkWorkloads() int {
+	bad := 0
+	for _, w := range workloads.All() {
+		rep := check.Analyze(w.Prog, w.EntryRegs(workloads.DefaultParams(0)))
+		status := "ok"
+		if !rep.Clean() {
+			status = fmt.Sprintf("%d finding(s)", len(rep.Findings))
+			bad++
+		}
+		fmt.Printf("%-16s %3d insts  pressure %2d @ pc %-3d  %s\n",
+			w.Name, w.Prog.Len(), rep.MaxLive, rep.MaxLivePC, status)
+		for _, f := range rep.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "virec-asm: %d kernel(s) with findings\n", bad)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,70 @@
+// Command virec-lint runs the simulator's custom analyzer suite
+// (internal/lint) over the given packages, in the style of go vet:
+//
+//	go run ./cmd/virec-lint ./...
+//	go run ./cmd/virec-lint -analyzers determinism,hotpath ./internal/cpu
+//
+// Findings print as "file:line:col: message [analyzer]" and the command
+// exits 1 when any are reported. It is wired into CI next to go vet; see
+// DESIGN.md for the rules each analyzer enforces and the //virec:
+// directives that steer them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/virec/virec/internal/lint"
+)
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *names != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "virec-lint: unknown analyzer %q\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset, pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "virec-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(fset, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "virec-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

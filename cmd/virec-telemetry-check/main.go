@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 func main() {
@@ -193,7 +194,15 @@ func checkMetrics(path string) error {
 		if len(s.Counters) == 0 {
 			return fmt.Errorf("snapshot %d: no counters", docs)
 		}
-		for name, h := range s.Histograms {
+		// Validate in sorted order so the first error reported does not
+		// depend on map iteration order.
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Histograms[name]
 			if len(h.Counts) != len(h.Bounds)+1 {
 				return fmt.Errorf("snapshot %d: histogram %s: len(counts)=%d, want len(bounds)+1=%d",
 					docs, name, len(h.Counts), len(h.Bounds)+1)

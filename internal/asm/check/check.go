@@ -1,0 +1,324 @@
+// Package check is the ISA-level static analyzer: it inspects assembled
+// programs — without executing them — for the bug classes that have bitten
+// hand-written kernels, and reports the register pressure the paper's
+// active-context sizing (Figure 2) depends on.
+//
+// Analyses, all over the instruction-level control-flow graph:
+//
+//   - branch validation: every branch target must land inside the text
+//     (asm.Program.At self-terminates a runaway PC with an implicit HALT,
+//     which silently truncates a kernel whose target is off by one);
+//   - reachability: instructions no path from entry reaches are dead text,
+//     almost always a mis-labeled branch;
+//   - use-before-def: a forward must-defined dataflow pass (intersection
+//     over predecessors) proves every source register is written on every
+//     path before it is read — registers the run's Setup initializes are
+//     entry-defined, XZR reads as zero and SP is architecturally
+//     initialized, so both are always defined;
+//   - flags-before-compare: the same pass tracks the NZCV flags, so a
+//     conditional branch or CSEL that can execute before any CMP/TST is
+//     reported;
+//   - register pressure: a backward liveness pass computes the maximal
+//     number of simultaneously live registers and where it occurs — the
+//     static analogue of the active context ViReC's physical register file
+//     is sized against.
+//
+// Control flow is resolved statically: fallthrough unless the instruction
+// is an unconditional control transfer; conditional branches add their
+// target; BL adds both its target and the return point; RET and HALT
+// terminate (RET's target is indirect). NumRegs is 64, so every register
+// set in the dataflow passes is one uint64 bitmask.
+package check
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/isa"
+)
+
+// Finding kinds.
+const (
+	BadBranchTarget = "bad-branch-target"
+	Unreachable     = "unreachable"
+	UseBeforeDef    = "use-before-def"
+	FlagsBeforeCmp  = "flags-before-cmp"
+)
+
+// Finding is one defect in a program.
+type Finding struct {
+	PC   int    // instruction index (start of the range for Unreachable)
+	Kind string // one of the kind constants above
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("pc %d: %s [%s]", f.PC, f.Msg, f.Kind)
+}
+
+// Report is the analysis result for one program.
+type Report struct {
+	Name     string
+	Findings []Finding
+
+	// MaxLive is the largest number of simultaneously live registers at
+	// any reachable instruction; MaxLivePC is the first instruction where
+	// it occurs and LiveRegs the registers live there, ascending.
+	MaxLive   int
+	MaxLivePC int
+	LiveRegs  []isa.Reg
+}
+
+// Clean reports whether the analysis found no defects.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// regMask is a set of architectural registers (NumRegs = 64).
+type regMask uint64
+
+func (m regMask) has(r isa.Reg) bool { return m&(1<<uint(r)) != 0 }
+func (m *regMask) add(r isa.Reg)     { *m |= 1 << uint(r) }
+func (m *regMask) remove(r isa.Reg)  { *m &^= 1 << uint(r) }
+func (m regMask) count() int         { return bits.OnesCount64(uint64(m)) }
+
+// flowState is the must-defined dataflow fact at one program point.
+type flowState struct {
+	regs  regMask
+	flags bool
+}
+
+func (s flowState) meet(o flowState) flowState {
+	return flowState{regs: s.regs & o.regs, flags: s.flags && o.flags}
+}
+
+// Analyze runs every analysis over prog. entryDefined lists the registers
+// initialized before the program starts (a workload's Setup set() calls);
+// XZR and SP are always treated as defined.
+func Analyze(prog *asm.Program, entryDefined []isa.Reg) *Report {
+	rep := &Report{Name: prog.Name, MaxLivePC: -1}
+	n := prog.Len()
+	if n == 0 {
+		return rep
+	}
+
+	succs, badTargets := buildCFG(prog)
+	rep.Findings = append(rep.Findings, badTargets...)
+
+	reachable := reach(succs, n)
+	rep.Findings = append(rep.Findings, unreachableRanges(reachable)...)
+
+	rep.Findings = append(rep.Findings, useBeforeDef(prog, succs, reachable, entryDefined)...)
+
+	rep.MaxLive, rep.MaxLivePC, rep.LiveRegs = pressure(prog, succs, reachable)
+
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].PC != rep.Findings[j].PC {
+			return rep.Findings[i].PC < rep.Findings[j].PC
+		}
+		return rep.Findings[i].Kind < rep.Findings[j].Kind
+	})
+	return rep
+}
+
+// buildCFG returns each instruction's successor list and findings for
+// branch targets outside the text. Edges through a bad target are dropped
+// (the finding already covers them).
+func buildCFG(prog *asm.Program) ([][]int, []Finding) {
+	n := prog.Len()
+	succs := make([][]int, n)
+	var findings []Finding
+	for i := 0; i < n; i++ {
+		in := &prog.Insts[i]
+		target := int(in.Target)
+		branch := in.IsBranch()
+		if branch && in.Op != isa.RET {
+			if target < 0 || target >= n {
+				findings = append(findings, Finding{PC: i, Kind: BadBranchTarget,
+					Msg: fmt.Sprintf("%s targets instruction %d, text is [0,%d)", in.Op, target, n)})
+			} else {
+				succs[i] = append(succs[i], target)
+			}
+		}
+		switch {
+		case in.Op == isa.HALT || in.Op == isa.RET:
+			// Flow terminates: RET's destination is whatever the link
+			// register holds, which this analysis does not track.
+		case in.Op == isa.B:
+			// Unconditional: target only.
+		default:
+			// Everything else falls through, including BL (the callee
+			// eventually returns to the next instruction). Falling off the
+			// end is an implicit HALT (asm.Program.At), not an edge.
+			if i+1 < n {
+				succs[i] = append(succs[i], i+1)
+			}
+		}
+	}
+	return succs, findings
+}
+
+// reach marks every instruction reachable from entry.
+func reach(succs [][]int, n int) []bool {
+	reachable := make([]bool, n)
+	stack := []int{0}
+	reachable[0] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs[i] {
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return reachable
+}
+
+// unreachableRanges groups consecutive unreachable instructions into one
+// finding per maximal range.
+func unreachableRanges(reachable []bool) []Finding {
+	var findings []Finding
+	for i := 0; i < len(reachable); {
+		if reachable[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(reachable) && !reachable[j] {
+			j++
+		}
+		msg := "instruction is unreachable"
+		if j-i > 1 {
+			msg = fmt.Sprintf("instructions %d-%d are unreachable", i, j-1)
+		}
+		findings = append(findings, Finding{PC: i, Kind: Unreachable, Msg: msg})
+		i = j
+	}
+	return findings
+}
+
+// useBeforeDef runs the forward must-defined pass and reports reads of
+// registers (or flags) not written on every path from entry.
+func useBeforeDef(prog *asm.Program, succs [][]int, reachable []bool, entryDefined []isa.Reg) []Finding {
+	n := prog.Len()
+	entry := flowState{}
+	entry.regs.add(isa.XZR)
+	entry.regs.add(isa.SP)
+	for _, r := range entryDefined {
+		entry.regs.add(r)
+	}
+
+	// in[i] is the meet over predecessors' outs; ⊤ (everything defined)
+	// until a path reaches the instruction.
+	top := flowState{regs: ^regMask(0), flags: true}
+	in := make([]flowState, n)
+	for i := range in {
+		in[i] = top
+	}
+	in[0] = entry
+
+	var scratch []isa.Reg
+	out := func(i int) flowState {
+		s := in[i]
+		scratch = prog.Insts[i].DstRegs(scratch[:0])
+		for _, r := range scratch {
+			s.regs.add(r)
+		}
+		if prog.Insts[i].SetsFlags() {
+			s.flags = true
+		}
+		return s
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !reachable[i] {
+				continue
+			}
+			o := out(i)
+			for _, s := range succs[i] {
+				next := in[s].meet(o)
+				if next != in[s] {
+					in[s] = next
+					changed = true
+				}
+			}
+		}
+	}
+
+	var findings []Finding
+	for i := 0; i < n; i++ {
+		if !reachable[i] {
+			continue
+		}
+		inst := &prog.Insts[i]
+		scratch = inst.SrcRegs(scratch[:0])
+		for _, r := range scratch {
+			if r != isa.XZR && !in[i].regs.has(r) {
+				findings = append(findings, Finding{PC: i, Kind: UseBeforeDef,
+					Msg: fmt.Sprintf("%s reads %s, which is not defined on every path from entry", inst.Op, r)})
+			}
+		}
+		if inst.ReadsFlags() && !in[i].flags {
+			findings = append(findings, Finding{PC: i, Kind: FlagsBeforeCmp,
+				Msg: fmt.Sprintf("%s reads the NZCV flags before any compare on some path from entry", inst.Op)})
+		}
+	}
+	return findings
+}
+
+// pressure runs the backward liveness pass and returns the maximal live
+// register count, the first instruction where it occurs, and the registers
+// live there.
+func pressure(prog *asm.Program, succs [][]int, reachable []bool) (int, int, []isa.Reg) {
+	n := prog.Len()
+	liveIn := make([]regMask, n)
+	var scratch []isa.Reg
+
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			if !reachable[i] {
+				continue
+			}
+			var liveOut regMask
+			for _, s := range succs[i] {
+				liveOut |= liveIn[s]
+			}
+			next := liveOut
+			scratch = prog.Insts[i].DstRegs(scratch[:0])
+			for _, r := range scratch {
+				next.remove(r)
+			}
+			scratch = prog.Insts[i].SrcRegs(scratch[:0])
+			for _, r := range scratch {
+				if r != isa.XZR {
+					next.add(r)
+				}
+			}
+			if next != liveIn[i] {
+				liveIn[i] = next
+				changed = true
+			}
+		}
+	}
+
+	maxLive, maxPC := 0, -1
+	for i := 0; i < n; i++ {
+		if reachable[i] && liveIn[i].count() > maxLive {
+			maxLive, maxPC = liveIn[i].count(), i
+		}
+	}
+	var regs []isa.Reg
+	if maxPC >= 0 {
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if liveIn[maxPC].has(r) {
+				regs = append(regs, r)
+			}
+		}
+	}
+	return maxLive, maxPC, regs
+}

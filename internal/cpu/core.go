@@ -308,6 +308,8 @@ func (c *Core) Cur() int { return c.cur }
 
 // Tick advances one cycle. The caller ticks the memory hierarchy after
 // all cores so that accesses issued this cycle are seen by the caches.
+//
+//virec:hotpath
 func (c *Core) Tick(cycle uint64) {
 	c.cycle = cycle
 	if c.stamper != nil {
@@ -344,7 +346,9 @@ func (c *Core) commitStage() {
 			return
 		}
 		c.memory.Write(f.effAddr, in.MemBytes(), f.valRd)
+		//virec:alloc-ok one request per committed store, amortized by the dcache round-trip
 		req := &mem.Request{Addr: f.effAddr, Size: in.MemBytes(), Kind: mem.Write}
+		//virec:alloc-ok store-queue entry, one per committed store
 		c.sq = append(c.sq, &sqEntry{req: req})
 		c.Stats.Stores++
 		c.sqOccupancy.Observe(uint64(len(c.sq)))
@@ -431,6 +435,7 @@ func (c *Core) memStage() {
 
 func (c *Core) issueLoad(f *inflight) {
 	fl := f
+	//virec:alloc-ok one request + completion closures per load, amortized by the dcache round-trip
 	req := &mem.Request{
 		Addr: f.effAddr,
 		Size: f.in.MemBytes(),
@@ -685,6 +690,7 @@ srcLoop:
 			}
 		}
 	}
+	//virec:alloc-ok golden-model helper closure, one per executed instruction; pinned by BenchmarkCoreTick
 	assign := func(r isa.Reg) uint64 {
 		if r == isa.XZR {
 			return 0
@@ -737,6 +743,7 @@ func (c *Core) fetchStage() {
 		c.fetchQ = c.fetchQ[1:]
 		th := c.threads[c.cur]
 		c.seq++
+		//virec:alloc-ok in-flight record, one per decoded instruction; pinned by BenchmarkCoreTick
 		c.dec = &inflight{
 			seq:    c.seq,
 			thread: c.cur,
@@ -759,6 +766,7 @@ func (c *Core) fetchStage() {
 	}
 	// Enqueue the next fetch.
 	if len(c.fetchQ) < c.cfg.FetchBufSize {
+		//virec:alloc-ok fetch-buffer slot, one per fetched instruction; pinned by BenchmarkCoreTick
 		slot := &fetchSlot{pc: c.fetchPC, gen: c.fetchGen,
 			readyAt: c.cycle + uint64(c.cfg.FetchLatency)}
 		if c.icache != nil {
@@ -786,6 +794,7 @@ func (c *Core) issueFetch(s *fetchSlot) {
 	gen := c.fetchGen
 	slot := s
 	addr := c.threads[c.cur].ProgBase + mem.Addr(s.pc*isa.InstBytes)
+	//virec:alloc-ok one request + completion closure per icache fetch, amortized by the icache round-trip
 	req := &mem.Request{
 		Addr: addr,
 		Size: isa.InstBytes,
@@ -979,6 +988,7 @@ func (c *Core) drainSQ() {
 	for _, e := range c.sq {
 		if !e.sent {
 			ee := e
+			//virec:alloc-ok completion closure, one per drained store
 			e.req.Done = func(uint64) { ee.done = true }
 			if c.dcache.Access(e.req) {
 				e.sent = true

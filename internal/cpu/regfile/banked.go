@@ -35,6 +35,8 @@ var _ cpu.Provider = (*Banked)(nil)
 func (p *Banked) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool { return true }
 
 // ReadValue returns the banked value.
+//
+//virec:hotpath
 func (p *Banked) ReadValue(thread int, r isa.Reg) uint64 {
 	if r == isa.XZR {
 		return 0
@@ -43,6 +45,8 @@ func (p *Banked) ReadValue(thread int, r isa.Reg) uint64 {
 }
 
 // WriteValue updates the banked value.
+//
+//virec:hotpath
 func (p *Banked) WriteValue(thread int, r isa.Reg, v uint64) {
 	if r != isa.XZR {
 		p.banks[thread][r] = v

@@ -44,6 +44,8 @@ var _ cpu.Provider = (*Software)(nil)
 // abandoned a prepared switch (the missing load returned first), the
 // owner's own context is reloaded before execution continues — the price
 // of software switching being irrevocable once the trap handler runs.
+//
+//virec:hotpath
 func (p *Software) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool {
 	if p.owner != thread || p.pending > 0 {
 		return false
@@ -67,6 +69,8 @@ func (p *Software) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool {
 }
 
 // ReadValue reads the single bank.
+//
+//virec:hotpath
 func (p *Software) ReadValue(thread int, r isa.Reg) uint64 {
 	if r == isa.XZR {
 		return 0
@@ -82,6 +86,8 @@ func (p *Software) ReadValue(thread int, r isa.Reg) uint64 {
 // outgoing thread must not clobber the restored context — its value
 // survives in the memory context and returns with the thread's next
 // restore.
+//
+//virec:hotpath
 func (p *Software) WriteValue(thread int, r isa.Reg, v uint64) {
 	if r == isa.XZR {
 		return
@@ -142,6 +148,7 @@ func (p *Software) restore(thread int) {
 		rr := isa.Reg(r)
 		addr := p.layout.RegAddr(thread, rr)
 		p.pending++
+		//virec:alloc-ok software save/restore issues one BSI op per register, amortized per context switch
 		p.bsi.pushLoad(&bsiOp{addr: addr, kind: mem.Read,
 			onDone: func(uint64) {
 				p.bank[rr] = p.memory.Read64(addr)
@@ -150,6 +157,7 @@ func (p *Software) restore(thread int) {
 	}
 	sys := p.layout.SysRegAddr(thread)
 	p.pending++
+	//virec:alloc-ok one BSI op per system-register block, amortized per context switch
 	p.bsi.pushLoad(&bsiOp{addr: sys, kind: mem.Read,
 		onDone: func(uint64) { p.pending-- }})
 }

@@ -346,6 +346,7 @@ func (p *ViReC) spill(v vrmu.Victim) {
 		p.tracer.Emit(p.cycle, telemetry.EvVictim, p.traceCore, int32(v.Thread),
 			uint64(v.Reg), dirty, 0)
 	}
+	//virec:alloc-ok one BSI op per spill, amortized by the backing-store write
 	p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write, noCrit: !v.Dirty,
 		thread: int32(v.Thread), reg: v.Reg})
 }
@@ -357,6 +358,7 @@ func (p *ViReC) startFill(thread int, r isa.Reg, phys int) {
 	p.pending[key] = phys
 	p.pendingPhys[phys] = true
 	addr := p.layout.RegAddr(thread, r)
+	//virec:alloc-ok one BSI op + completion closure per fill, amortized by the backing-store read
 	p.bsi.pushLoad(&bsiOp{
 		addr:   addr,
 		kind:   mem.Read,
@@ -381,6 +383,8 @@ func (p *ViReC) startFill(thread int, r isa.Reg, phys int) {
 // store lookups for every source and destination, miss handling through
 // victim selection, eviction and fill, and the dummy-value optimization
 // for destination-only registers.
+//
+//virec:hotpath
 func (p *ViReC) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool {
 	if p.rq.Full() {
 		return false
@@ -476,6 +480,7 @@ func (p *ViReC) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool {
 			// bookkeeping correct without stalling decode.
 			p.tags.FillDummy(phys)
 			p.DummyDests++
+			//virec:alloc-ok one metadata-only BSI op per dummy destination, amortized by the backing-store read
 			p.bsi.pushLoad(&bsiOp{
 				addr:   p.layout.RegAddr(thread, d),
 				kind:   mem.Read,
@@ -490,6 +495,8 @@ func (p *ViReC) Acquire(thread int, in *isa.Inst, needSrcs []isa.Reg) bool {
 
 // ReadValue returns the cached value after touching the entry (pseudo-LRU
 // age reset plus speculative C-bit set).
+//
+//virec:hotpath
 func (p *ViReC) ReadValue(thread int, r isa.Reg) uint64 {
 	if r == isa.XZR {
 		return 0
@@ -509,6 +516,8 @@ func (p *ViReC) ReadValue(thread int, r isa.Reg) uint64 {
 // WriteValue installs a committed result. If the register was evicted
 // between decode and commit it is re-allocated (allocate-on-write); if a
 // fill is in flight the fill is superseded so its stale value is dropped.
+//
+//virec:hotpath
 func (p *ViReC) WriteValue(thread int, r isa.Reg, v uint64) {
 	if r == isa.XZR {
 		return
@@ -526,10 +535,12 @@ func (p *ViReC) WriteValue(thread int, r isa.Reg, v uint64) {
 			// value straight to the backing store.
 			addr := p.layout.RegAddr(thread, r)
 			p.memory.Write64(addr, v)
+			//virec:alloc-ok pathological fallback (every slot locked), one BSI op per direct spill
 			p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write, thread: int32(thread), reg: r})
 			return
 		}
 		p.CommitReallocs++
+		//virec:alloc-ok one BSI op per commit-side reallocation, amortized by the backing-store read
 		p.bsi.pushLoad(&bsiOp{addr: p.layout.RegAddr(thread, r), kind: mem.Read, noCrit: true,
 			thread: int32(thread), reg: r})
 	}
@@ -539,6 +550,8 @@ func (p *ViReC) WriteValue(thread int, r isa.Reg, v uint64) {
 
 // InstDecoded pushes the instruction's physical registers into the
 // rollback queue and releases the decode locks.
+//
+//virec:hotpath
 func (p *ViReC) InstDecoded(thread int, seq uint64, in *isa.Inst) {
 	var regs [6]isa.Reg
 	var physBuf [6]int
@@ -580,6 +593,8 @@ func (p *ViReC) InstDecoded(thread int, seq uint64, in *isa.Inst) {
 // InstCommitted retires the oldest rollback-queue entry and, under the
 // Belady policy, advances the thread's future-knowledge cursor past the
 // instruction's register accesses.
+//
+//virec:hotpath
 func (p *ViReC) InstCommitted(thread int, seq uint64) {
 	p.rq.Commit(seq)
 	if p.inflightRegs != nil {
@@ -815,7 +830,20 @@ func (p *ViReC) CheckInvariants() string {
 	if msg := p.rq.CheckInvariants(p.tags.Size()); msg != "" {
 		return "rollback queue: " + msg
 	}
-	for key, phys := range p.pending {
+	// Check pending fills in (thread, reg) order so a multi-violation
+	// state always reports the same one.
+	pendKeys := make([]regKey, 0, len(p.pending))
+	for key := range p.pending {
+		pendKeys = append(pendKeys, key)
+	}
+	sort.Slice(pendKeys, func(i, j int) bool {
+		if pendKeys[i].thread != pendKeys[j].thread {
+			return pendKeys[i].thread < pendKeys[j].thread
+		}
+		return pendKeys[i].reg < pendKeys[j].reg
+	})
+	for _, key := range pendKeys {
+		phys := p.pending[key]
 		if phys < 0 || phys >= p.tags.Size() {
 			return fmt.Sprintf("pending fill t%d %s targets physical register %d outside [0,%d)",
 				key.thread, key.reg, phys, p.tags.Size())

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Statsreg cross-checks each module's Stats struct against its telemetry
+// registration. The observability contract from PR 3 is that every
+// counter in a `Stats` struct is registered by pointer alias in the
+// telemetry registry, so the metrics snapshot and the reported tables
+// reconcile exactly. A field added to Stats without a matching
+// registration silently vanishes from -metrics-json; this analyzer makes
+// that a lint failure instead.
+//
+// Rules, per package that defines both a struct named `Stats` (or
+// `...Stats`) and at least one registration function (any function taking
+// a *telemetry.Registry parameter):
+//
+//  1. Every uint64 field of the Stats struct must be referenced inside
+//     some registration function of the package — as `&s.Field` in a
+//     Counter call or read inside a Gauge closure. Fields that are
+//     intentionally derived or unregistered carry `//virec:nostat`.
+//
+//  2. Metric labels must be unique: within one registration function, the
+//     constant part of each label argument (the literal suffix of
+//     `prefix+"/hits"`) must not repeat across Counter/Gauge/Histogram
+//     calls. Duplicates otherwise surface only as a registry collision
+//     panic at run time.
+var Statsreg = &Analyzer{
+	Name: "statsreg",
+	Doc:  "checks Stats struct fields alias telemetry registrations and labels are unique",
+	Run:  runStatsreg,
+}
+
+func runStatsreg(pass *Pass) {
+	dirs := newDirectives(pass.Fset, pass.Pkgs)
+	for _, pkg := range pass.Pkgs {
+		regFns := registrationFuncs(pkg)
+		if len(regFns) == 0 {
+			continue
+		}
+		checkLabelUniqueness(pass, pkg, regFns)
+		for _, st := range statsStructs(pkg) {
+			checkFieldsRegistered(pass, pkg, dirs, st, regFns)
+		}
+	}
+}
+
+// isRegistryType matches *telemetry.Registry.
+func isRegistryType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Registry" &&
+		strings.HasSuffix(n.Obj().Pkg().Path(), "internal/telemetry")
+}
+
+// registrationFuncs finds package functions taking a *telemetry.Registry.
+func registrationFuncs(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isRegistryType(sig.Params().At(i).Type()) {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// statsStruct is one package-level stats struct definition.
+type statsStruct struct {
+	name   string
+	decl   *ast.StructType
+	fields []statsField
+}
+
+type statsField struct {
+	name  string
+	ident *ast.Ident
+	obj   *types.Var
+}
+
+// statsStructs finds package-level struct types named Stats or *Stats with
+// uint64 fields.
+func statsStructs(pkg *Package) []statsStruct {
+	var out []statsStruct
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !strings.HasSuffix(ts.Name.Name, "Stats") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				ss := statsStruct{name: ts.Name.Name, decl: st}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						obj, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok || !name.IsExported() {
+							continue
+						}
+						if b, ok := obj.Type().(*types.Basic); ok && b.Kind() == types.Uint64 {
+							ss.fields = append(ss.fields, statsField{name: name.Name, ident: name, obj: obj})
+						}
+					}
+				}
+				if len(ss.fields) > 0 {
+					out = append(out, ss)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFieldsRegistered verifies each counter field is referenced inside a
+// registration function.
+func checkFieldsRegistered(pass *Pass, pkg *Package, dirs *directives, st statsStruct, regFns []*ast.FuncDecl) {
+	referenced := make(map[*types.Var]bool)
+	for _, fn := range regFns {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := pkg.Info.Selections[sel]; ok {
+				if v, ok := s.Obj().(*types.Var); ok {
+					referenced[v] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range st.fields {
+		if referenced[f.obj] || dirs.has(f.ident.Pos(), "nostat") {
+			continue
+		}
+		pass.Report(f.ident.Pos(),
+			"%s.%s is not registered in the telemetry registry (alias it with Counter, or mark //virec:nostat)",
+			st.name, f.name)
+	}
+}
+
+// checkLabelUniqueness flags repeated constant label parts within each
+// registration function.
+func checkLabelUniqueness(pass *Pass, pkg *Package, regFns []*ast.FuncDecl) {
+	for _, fn := range regFns {
+		seen := make(map[string]ast.Expr)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/telemetry") {
+				return true
+			}
+			switch obj.Name() {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			label, ok := constantLabelPart(pkg, call.Args[0])
+			if !ok {
+				return true
+			}
+			if prev, dup := seen[label]; dup {
+				pass.Report(call.Args[0].Pos(),
+					"metric label %q already registered at %s in this function (would panic at run time)",
+					label, pass.Fset.Position(prev.Pos()))
+			} else {
+				seen[label] = call.Args[0]
+			}
+			return true
+		})
+	}
+}
+
+// constantLabelPart extracts the constant string portion of a label
+// argument: a literal, a constant expression, or the literal right side of
+// `prefix + "/suffix"`.
+func constantLabelPart(pkg *Package, e ast.Expr) (string, bool) {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	if be, ok := e.(*ast.BinaryExpr); ok {
+		if s, ok := constantLabelPart(pkg, be.Y); ok {
+			return s, true
+		}
+		return constantLabelPart(pkg, be.X)
+	}
+	return "", false
+}

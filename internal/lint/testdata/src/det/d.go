@@ -1,0 +1,117 @@
+// Package det is determinism-analyzer test fodder. Each "want" comment
+// marks a line the analyzer must flag with a message containing the quoted
+// substring; every other construct must stay silent.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// appendNoSort leaks map order into the returned slice.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "never sorted"
+	}
+	return out
+}
+
+// appendThenSort is the sanctioned sorted-key extraction idiom.
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildString concatenates in map order.
+func buildString(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "builds string"
+	}
+	return s
+}
+
+// sumFloats accumulates floating point in map order.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float addition is not associative"
+	}
+	return total
+}
+
+// printAll performs output in map order.
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "performs output via fmt.Println"
+	}
+}
+
+// firstMatch returns whichever key the runtime happens to visit first.
+func firstMatch(m map[string]int, want int) string {
+	for k, v := range m {
+		if v == want {
+			return k // want "depends on which key is visited first"
+		}
+	}
+	return ""
+}
+
+// keyedWrite commutes: the destination is keyed by the range key.
+func keyedWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// counting is order-independent.
+func counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// suppressed carries the nondet-ok directive.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//virec:nondet-ok diagnostic output only, order accepted
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// panicsAreExempt: failure paths may format freely.
+func panicsAreExempt(m map[string]int) {
+	for k := range m {
+		if k == "" {
+			panic(fmt.Sprintf("empty key %q", k))
+		}
+	}
+}
+
+// wallClock consumes ambient time.
+func wallClock() int64 {
+	return time.Now().Unix() // want "wall-clock"
+}
+
+// globalRand consumes the globally seeded source.
+func globalRand() int {
+	return rand.Int() // want "explicitly seeded"
+}
+
+// seededRand constructs an explicit generator: allowed.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,20 @@
+// Package streg is statsreg-analyzer test fodder: a Stats struct with a
+// registered field, an unregistered field, a nostat-exempt field, and a
+// registration function that repeats a metric label.
+package streg
+
+import "github.com/virec/virec/internal/telemetry"
+
+// Stats counts events for a fictional module.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64 // want "Stats.Misses is not registered"
+	Derived uint64 //virec:nostat computed in the report, not exported live
+	ratio   float64
+}
+
+func register(reg *telemetry.Registry, prefix string, s *Stats) {
+	reg.Counter(prefix+"/hits", &s.Hits)
+	reg.Counter(prefix+"/hits", &s.Hits) // want "already registered"
+	reg.Gauge(prefix+"/ratio", func() float64 { return s.ratio })
+}

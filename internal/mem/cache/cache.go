@@ -98,6 +98,7 @@ func (h hitHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//virec:hotpath
 func (h *hitHeap) push(ev hitEvent) {
 	*h = append(*h, ev)
 	s := *h
@@ -111,6 +112,7 @@ func (h *hitHeap) push(ev hitEvent) {
 	}
 }
 
+//virec:hotpath
 func (h *hitHeap) pop() hitEvent {
 	s := *h
 	top := s[0]

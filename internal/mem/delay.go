@@ -36,6 +36,7 @@ func (h delayHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//virec:hotpath
 func (h *delayHeap) push(ev delayEvent) {
 	*h = append(*h, ev)
 	s := *h
@@ -49,6 +50,7 @@ func (h *delayHeap) push(ev delayEvent) {
 	}
 }
 
+//virec:hotpath
 func (h *delayHeap) pop() delayEvent {
 	s := *h
 	top := s[0]

@@ -124,6 +124,7 @@ func (h completionHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//virec:hotpath
 func (h *completionHeap) push(c completion) {
 	*h = append(*h, c)
 	s := *h
@@ -137,6 +138,7 @@ func (h *completionHeap) push(c completion) {
 	}
 }
 
+//virec:hotpath
 func (h *completionHeap) pop() completion {
 	s := *h
 	top := s[0]

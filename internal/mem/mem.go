@@ -112,11 +112,13 @@ func (m *Memory) page(a Addr, create bool) *page {
 		if !create {
 			return nil
 		}
+		//virec:alloc-ok lazy page table, built once per Memory
 		m.pages = make(map[Addr]*page)
 	}
 	base := a &^ (pageBytes - 1)
 	p := m.pages[base]
 	if p == nil && create {
+		//virec:alloc-ok one allocation per touched page, never freed
 		p = &page{}
 		m.pages[base] = p
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"slices"
 )
 
 // ChromeWriter streams trace events as Chrome trace_event JSON (the
@@ -162,11 +163,7 @@ func (cw *ChromeWriter) Close(endCycle uint64) error {
 	for k := range cw.running {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	slices.Sort(keys)
 	for _, k := range keys {
 		start := cw.running[k]
 		core := int32(k >> 32)

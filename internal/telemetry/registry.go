@@ -95,23 +95,35 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 }
 
 // Snapshot materializes every registered metric into a serializable,
-// self-contained value.
+// self-contained value. Metrics are read in sorted label order, so the
+// sequence of counter loads and gauge calls — not just the marshaled
+// bytes — is identical across runs.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Counters:   make(map[string]uint64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistSnapshot, len(r.hists)),
 	}
-	for name, p := range r.counters {
-		s.Counters[name] = *p
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters[name] = *r.counters[name]
 	}
-	for name, fn := range r.gauges {
-		s.Gauges[name] = fn()
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges[name] = r.gauges[name]()
 	}
-	for name, h := range r.hists {
-		s.Histograms[name] = h.snapshot()
+	for _, name := range sortedKeys(r.hists) {
+		s.Histograms[name] = r.hists[name].snapshot()
 	}
 	return s
+}
+
+// sortedKeys returns a map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Names returns every registered metric name, sorted.

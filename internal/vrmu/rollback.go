@@ -21,6 +21,12 @@ type RollbackQueue struct {
 	entries []RollbackEntry
 	depth   int
 	tags    *TagStore
+
+	// Flush scratch, reused across flushes: seen marks physical indices
+	// already compacted, phys collects the distinct set. Both are cleared
+	// after use so steady-state flushes allocate nothing.
+	seen []bool
+	phys []int
 }
 
 // NewRollbackQueue builds a rollback queue of the given depth bound to the
@@ -29,7 +35,11 @@ func NewRollbackQueue(depth int, tags *TagStore) *RollbackQueue {
 	if depth <= 0 {
 		depth = 1
 	}
-	return &RollbackQueue{depth: depth, tags: tags}
+	q := &RollbackQueue{depth: depth, tags: tags}
+	if tags != nil {
+		q.seen = make([]bool, tags.Size())
+	}
+	return q
 }
 
 // Full reports whether the queue cannot accept another instruction; the
@@ -63,16 +73,28 @@ func (q *RollbackQueue) CheckInvariants(physSize int) string {
 	return ""
 }
 
-// Push records an instruction that passed decode. phys is copied.
+// Push records an instruction that passed decode. phys is copied into
+// storage recycled from committed entries, so steady-state pushes (after
+// the entry slice and each entry's Phys have grown to the backend's
+// working size) allocate nothing — Push runs once per decoded
+// instruction, on the core's tick path.
 func (q *RollbackQueue) Push(seq uint64, phys []int, isMem bool) {
-	cp := make([]int, len(phys))
-	copy(cp, phys)
-	q.entries = append(q.entries, RollbackEntry{Phys: cp, IsMem: isMem, Seq: seq})
+	n := len(q.entries)
+	if n < cap(q.entries) {
+		q.entries = q.entries[:n+1]
+	} else {
+		q.entries = append(q.entries, RollbackEntry{})
+	}
+	e := &q.entries[n]
+	e.Phys = append(e.Phys[:0], phys...)
+	e.IsMem = isMem
+	e.Seq = seq
 }
 
 // Commit removes the oldest entry; the commit stage signals it when an
 // instruction completes. Committing out of order is a programming error
-// and panics (the core is in-order).
+// and panics (the core is in-order). The removed entry's Phys storage
+// rotates to the slice's tail, where the next Push reuses it.
 func (q *RollbackQueue) Commit(seq uint64) {
 	if len(q.entries) == 0 {
 		return
@@ -81,7 +103,10 @@ func (q *RollbackQueue) Commit(seq uint64) {
 		panic(fmt.Sprintf("vrmu: out-of-order commit against rollback queue: committed seq %d, oldest in-flight seq %d (%d queued)",
 			seq, q.entries[0].Seq, len(q.entries)))
 	}
-	q.entries = q.entries[1:]
+	head := q.entries[0].Phys
+	n := copy(q.entries, q.entries[1:])
+	q.entries[n] = RollbackEntry{Phys: head[:0]}
+	q.entries = q.entries[:n]
 }
 
 // OldestIsMem reports whether the oldest in-flight instruction is a memory
@@ -103,22 +128,29 @@ func (q *RollbackQueue) Drop() {
 
 // Flush compacts every queued register index into one set, resets the
 // corresponding C bits in the tag store, and empties the queue. It returns
-// the number of distinct physical registers rolled back.
+// the number of distinct physical registers rolled back. Flush runs on
+// every pipeline flush (each context switch); the compaction set and its
+// membership bitmap are scratch fields reused across calls.
 func (q *RollbackQueue) Flush() int {
 	if len(q.entries) == 0 {
 		return 0
 	}
-	seen := make(map[int]bool)
-	var phys []int
+	q.phys = q.phys[:0]
 	for _, e := range q.entries {
 		for _, p := range e.Phys {
-			if !seen[p] {
-				seen[p] = true
-				phys = append(phys, p)
+			for p >= len(q.seen) {
+				q.seen = append(q.seen, false)
+			}
+			if !q.seen[p] {
+				q.seen[p] = true
+				q.phys = append(q.phys, p)
 			}
 		}
 	}
-	q.tags.ResetC(phys)
+	q.tags.ResetC(q.phys)
+	for _, p := range q.phys {
+		q.seen[p] = false
+	}
 	q.entries = q.entries[:0]
-	return len(phys)
+	return len(q.phys)
 }

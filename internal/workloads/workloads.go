@@ -17,6 +17,7 @@ package workloads
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/virec/virec/internal/asm"
 	"github.com/virec/virec/internal/isa"
@@ -64,6 +65,26 @@ func (s *Spec) ActiveRegs() []isa.Reg {
 	return inner
 }
 
+// EntryRegs returns the registers the kernel's Setup initializes before
+// execution starts, ascending — the entry-defined set the asm/check
+// use-before-def analysis starts from. Setup runs against a scratch
+// memory, so calling this has no effect on any live simulation state.
+func (s *Spec) EntryRegs(p Params) []isa.Reg {
+	var seen [isa.NumRegs]bool
+	s.Setup(mem.NewMemory(), 0, p, func(r isa.Reg, _ uint64) {
+		if r.Valid() {
+			seen[r] = true
+		}
+	})
+	var regs []isa.Reg
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if seen[r] {
+			regs = append(regs, r)
+		}
+	}
+	return regs
+}
+
 // rng is a splitmix64 generator for deterministic data.
 type rng struct{ state uint64 }
 
@@ -91,12 +112,19 @@ func expectReg(reg isa.Reg, want uint64) Verify {
 	}
 }
 
-// expectMem builds a Verify over memory words.
+// expectMem builds a Verify over memory words. Addresses are checked in
+// ascending order so a multi-mismatch failure always reports the same
+// (lowest) address.
 func expectMem(want map[mem.Addr]uint64) Verify {
+	addrs := make([]mem.Addr, 0, len(want))
+	for addr := range want {
+		addrs = append(addrs, addr)
+	}
+	slices.Sort(addrs)
 	return func(_ func(isa.Reg) uint64, m *mem.Memory) error {
-		for addr, v := range want {
-			if got := m.Read64(addr); got != v {
-				return fmt.Errorf("mem[%#x] = %d, want %d", addr, got, v)
+		for _, addr := range addrs {
+			if got := m.Read64(addr); got != want[addr] {
+				return fmt.Errorf("mem[%#x] = %d, want %d", addr, got, want[addr])
 			}
 		}
 		return nil
