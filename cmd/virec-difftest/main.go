@@ -1,0 +1,173 @@
+// Command virec-difftest is the differential verification driver: it
+// generates seeded constrained-random kernels and co-simulates each one
+// in lock step against the functional interpreter across the provider ×
+// policy × thread-count × fault-schedule matrix, shrinking and recording
+// any divergence as a replayable artifact.
+//
+// Usage:
+//
+//	virec-difftest -n 200                 # seeds 0..199, full matrix
+//	virec-difftest -seeds 500:1000       # explicit seed range
+//	virec-difftest -scenarios virec/lrc/t8,banked/t4
+//	virec-difftest -replay out/seed-0000000000000017.json
+//
+// Exit status: 0 all seeds clean, 1 divergence found, 2 usage/run error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/virec/virec/internal/difftest"
+	"github.com/virec/virec/internal/sweep"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 0, "check seeds 0..n-1 (shorthand for -seeds 0:n)")
+		seedsStr = flag.String("seeds", "", "seed range lo:hi (hi exclusive) or a single seed")
+		parallel = flag.Int("parallel", 0, "worker goroutines (default GOMAXPROCS)")
+		outDir   = flag.String("out", "difftest-repros", "directory for repro artifacts")
+		replay   = flag.String("replay", "", "replay a repro artifact instead of sweeping")
+		scStr    = flag.String("scenarios", "", "comma-separated scenario subset (default: full matrix)")
+		shrinkN  = flag.Int("shrink-attempts", 800, "max differential checks the shrinker may spend (0 disables shrinking)")
+		maxCyc   = flag.Uint64("max-cycles", 0, "per-scenario cycle budget (default 20M)")
+		quiet    = flag.Bool("q", false, "only print failures and the final summary")
+	)
+	flag.Parse()
+
+	opts := difftest.CheckOpts{MaxCycles: *maxCyc}
+	if *scStr != "" {
+		for _, s := range strings.Split(*scStr, ",") {
+			sc, err := difftest.ParseScenario(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Scenarios = append(opts.Scenarios, sc)
+		}
+	}
+
+	if *replay != "" {
+		os.Exit(replayArtifact(*replay, opts))
+	}
+
+	lo, hi := uint64(0), uint64(0)
+	switch {
+	case *seedsStr != "":
+		var err error
+		if lo, hi, err = parseSeeds(*seedsStr); err != nil {
+			fatal(err)
+		}
+	case *n > 0:
+		hi = uint64(*n)
+	default:
+		fatal(fmt.Errorf("nothing to do: pass -n, -seeds or -replay"))
+	}
+
+	seeds := make([]uint64, 0, hi-lo)
+	for s := lo; s < hi; s++ {
+		seeds = append(seeds, s)
+	}
+	nScenarios := len(opts.Scenarios)
+	if nScenarios == 0 {
+		nScenarios = len(difftest.Matrix())
+	}
+	if !*quiet {
+		fmt.Printf("difftest: %d seeds x %d scenarios, %d workers\n",
+			len(seeds), nScenarios, sweep.New(*parallel).Workers())
+	}
+
+	type verdict struct {
+		rep *difftest.Report
+		sr  *difftest.ShrinkResult
+	}
+	// Each seed is independent; divergences are shrunk inside the worker
+	// so the whole sweep parallelizes.
+	results, err := sweep.Map(sweep.New(*parallel), seeds,
+		func(seed uint64, _ int) (verdict, error) {
+			k := difftest.Generate(seed, difftest.GenConfigForSeed(seed))
+			rep := difftest.Check(k, opts)
+			v := verdict{rep: rep}
+			if rep.Divergence != nil && *shrinkN > 0 {
+				if sc, err := difftest.ParseScenario(rep.Divergence.Scenario); err == nil {
+					v.sr = difftest.Shrink(k, sc, opts, *shrinkN)
+				}
+			}
+			if rep.Divergence != nil {
+				sc, _ := difftest.ParseScenario(rep.Divergence.Scenario)
+				art := difftest.NewArtifact(k, sc, rep.Divergence, v.sr)
+				if path, werr := art.Write(*outDir); werr == nil {
+					fmt.Fprintf(os.Stderr, "difftest: seed %d: %v\n  repro: %s\n", seed, rep.Divergence, path)
+				} else {
+					fmt.Fprintf(os.Stderr, "difftest: seed %d: %v\n  (artifact write failed: %v)\n", seed, rep.Divergence, werr)
+				}
+			}
+			return v, nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+
+	var commits uint64
+	failures := 0
+	for _, v := range results {
+		commits += v.rep.Commits
+		if v.rep.Divergence != nil {
+			failures++
+		}
+	}
+	if !*quiet || failures > 0 {
+		fmt.Printf("difftest: %d seeds, %d commits compared, %d divergences\n",
+			len(seeds), commits, failures)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func replayArtifact(path string, opts difftest.CheckOpts) int {
+	art, err := difftest.LoadArtifact(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virec-difftest:", err)
+		return 2
+	}
+	fmt.Printf("replaying seed %d under %s\n", art.Seed, art.Scenario)
+	rep, err := art.Replay(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virec-difftest:", err)
+		return 2
+	}
+	if rep.Divergence != nil {
+		fmt.Printf("reproduced: %v\n", rep.Divergence)
+		return 1
+	}
+	fmt.Printf("clean: %d commits matched (the recorded divergence did not reproduce)\n", rep.Commits)
+	return 0
+}
+
+func parseSeeds(s string) (lo, hi uint64, err error) {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		if lo, err = strconv.ParseUint(s[:i], 0, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad seed range %q: %v", s, err)
+		}
+		if hi, err = strconv.ParseUint(s[i+1:], 0, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad seed range %q: %v", s, err)
+		}
+		if hi <= lo {
+			return 0, 0, fmt.Errorf("empty seed range %q", s)
+		}
+		return lo, hi, nil
+	}
+	if lo, err = strconv.ParseUint(s, 0, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad seed %q: %v", s, err)
+	}
+	return lo, lo + 1, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "virec-difftest:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,136 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/cpu"
+	"github.com/virec/virec/internal/isa"
+)
+
+// TestCommitHookEventStream checks the per-commit observer the
+// differential checker hangs off the commit stage: one event per
+// committed instruction, in program order per thread, with the writeback
+// register/value, effective address and width-masked store data filled
+// in — and never an event for a squashed instruction.
+func TestCommitHookEventStream(t *testing.T) {
+	prog := asm.MustAssemble("hook", `
+		mov x1, #6
+		add x2, x1, #1
+		str x2, [x3]
+		ldrb x4, [x3]
+		strh x1, [x3, #8]
+		cbz xzr, 6
+		halt
+	`)
+	r := newRig(pViReC, rigOpt{threads: 1})
+	r.setReg(0, isa.X3, uint64(dataBase))
+	r.load(prog, 0)
+
+	var events []cpu.CommitEvent
+	r.core.SetOnCommit(func(ev cpu.CommitEvent) { events = append(events, ev) })
+	if !r.run(100000) {
+		t.Fatal("did not finish")
+	}
+
+	want := []struct {
+		pc    int
+		wrote bool
+		rd    isa.Reg
+		val   uint64
+		addr  mem64
+		data  uint64
+	}{
+		{pc: 0, wrote: true, rd: isa.X1, val: 6},
+		{pc: 1, wrote: true, rd: isa.X2, val: 7},
+		{pc: 2, addr: mem64(dataBase), data: 7},
+		{pc: 3, wrote: true, rd: isa.X4, val: 7, addr: mem64(dataBase)},
+		{pc: 4, addr: mem64(dataBase) + 8, data: 6},
+		{pc: 5},
+		{pc: 6},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d commit events, want %d", len(events), len(want))
+	}
+	var lastSeq uint64
+	for i, ev := range events {
+		w := want[i]
+		if ev.Thread != 0 {
+			t.Errorf("event %d: thread %d, want 0", i, ev.Thread)
+		}
+		if i > 0 && ev.Seq <= lastSeq {
+			t.Errorf("event %d: seq %d not after %d — the no-double-commit invariant is broken", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.PC != w.pc {
+			t.Fatalf("event %d: pc %d, want %d", i, ev.PC, w.pc)
+		}
+		if ev.Wrote != w.wrote || (w.wrote && (ev.Rd != w.rd || ev.Val != w.val)) {
+			t.Errorf("event %d (pc %d): writeback (%v,%s,%d), want (%v,%s,%d)",
+				i, ev.PC, ev.Wrote, ev.Rd, ev.Val, w.wrote, w.rd, w.val)
+		}
+		if uint64(ev.Addr) != uint64(w.addr) {
+			t.Errorf("event %d (pc %d): addr %#x, want %#x", i, ev.PC, ev.Addr, w.addr)
+		}
+		if ev.Data != w.data {
+			t.Errorf("event %d (pc %d): store data %#x, want %#x", i, ev.PC, ev.Data, w.data)
+		}
+	}
+}
+
+type mem64 uint64
+
+// TestCommitHookMultithreadOrder: with several threads interleaving, each
+// thread's event substream must be its program's dynamic order, and the
+// per-core sequence numbers stay strictly increasing across the whole
+// stream (the asserted replay-never-double-commits invariant).
+func TestCommitHookMultithreadOrder(t *testing.T) {
+	prog := asm.MustAssemble("count", `
+		mov x1, #0
+		mov x2, #25
+		add x1, x1, #1
+		sub x2, x2, #1
+		cbnz x2, 2
+		halt
+	`)
+	const threads = 4
+	r := newRig(pViReC, rigOpt{threads: threads, physRegs: 16})
+	for th := 0; th < threads; th++ {
+		r.load(prog, th)
+	}
+	perThread := make([][]int, threads)
+	var lastSeq uint64
+	bad := false
+	r.core.SetOnCommit(func(ev cpu.CommitEvent) {
+		if ev.Seq <= lastSeq && lastSeq != 0 {
+			bad = true
+		}
+		lastSeq = ev.Seq
+		perThread[ev.Thread] = append(perThread[ev.Thread], ev.PC)
+	})
+	if !r.run(1_000_000) {
+		t.Fatal("did not finish")
+	}
+	if bad {
+		t.Error("commit sequence numbers not strictly increasing across threads")
+	}
+	// Each thread: 2 movs, then 25 iterations of (add, sub, cbnz), halt.
+	wantLen := 2 + 25*3 + 1
+	for th := 0; th < threads; th++ {
+		if len(perThread[th]) != wantLen {
+			t.Fatalf("thread %d: %d events, want %d", th, len(perThread[th]), wantLen)
+		}
+		if perThread[th][0] != 0 || perThread[th][wantLen-1] != 5 {
+			t.Errorf("thread %d: stream starts pc %d ends pc %d, want 0 and 5",
+				th, perThread[th][0], perThread[th][wantLen-1])
+		}
+		// Every backward step in PC must be the loop branch target.
+		for i := 1; i < wantLen; i++ {
+			prev, cur := perThread[th][i-1], perThread[th][i]
+			if cur <= prev && !(prev == 4 && cur == 2) {
+				t.Fatalf("thread %d: non-sequential commit pc %d after %d at index %d",
+					th, cur, prev, i)
+			}
+		}
+	}
+}

@@ -73,6 +73,7 @@ type Stats struct {
 	DecodeFwdStalls uint64 // cycles decode stalled on forwarding
 	FetchStalls     uint64 // cycles fetch had no slot
 	SQFullStalls    uint64 // cycles commit stalled on a full store queue
+	StoreLoadStalls uint64 // load issues held behind an uncommitted same-address store
 	SwitchCancels   uint64 // switch requests dropped by the commit mask
 	MemWaitCycles   uint64 // cycles the MEM stage held an unfinished load
 	Loads           uint64
@@ -199,6 +200,15 @@ type Core struct {
 	pendingAt            uint64
 	committedSinceSwitch bool
 	zeroCommitSwitches   int // consecutive switches with no commits between
+
+	// onCommit, when set, observes every architecturally committed
+	// instruction (the differential-test harness compares the stream
+	// against the functional interpreter). lastCommitSeq backs the
+	// no-double-commit invariant: sequence numbers are handed out at
+	// decode and replayed instructions are re-decoded with fresh ones,
+	// so the committed sequence must be strictly increasing.
+	onCommit      func(CommitEvent)
+	lastCommitSeq uint64
 
 	cycle  uint64
 	halted int
@@ -331,6 +341,28 @@ func (c *Core) Tick(cycle uint64) {
 
 // ---- commit ----
 
+// CommitEvent describes one architecturally committed instruction: its
+// location, the destination-register writeback (if any) and the memory
+// effect (if any). Store data is masked to the access width so it compares
+// directly against what lands in memory.
+type CommitEvent struct {
+	Thread int
+	Seq    uint64
+	PC     int
+	Inst   *isa.Inst
+	Wrote  bool    // a non-XZR register was written back
+	Rd     isa.Reg // destination register when Wrote
+	Val    uint64  // value written when Wrote
+	Addr   mem.Addr // effective address for loads/stores
+	Data   uint64   // store data, masked to the access width
+}
+
+// SetOnCommit installs a per-commit observer. The callback fires once per
+// committed instruction, in commit order, after the writeback has reached
+// the provider and the shadow context. A nil fn disables the hook (the
+// commit path then pays one branch).
+func (c *Core) SetOnCommit(fn func(CommitEvent)) { c.onCommit = fn }
+
 func (c *Core) commitStage() {
 	f := c.wb
 	if f == nil || f.squashed {
@@ -355,22 +387,50 @@ func (c *Core) commitStage() {
 	}
 
 	th := c.threads[f.thread]
+	rd := isa.XZR
+	var val uint64
+	wrote := false
 	if f.writesReg && in.Op != isa.NOP {
-		var rd isa.Reg
 		if dsts := in.DstRegs(c.scratchDst[:0]); len(dsts) > 0 {
 			rd = dsts[0]
 		}
 		if rd != isa.XZR {
-			val := f.result
+			val = f.result
 			if in.IsLoad() {
 				val = f.loadVal
 			}
 			th.shadow[rd] = val
 			c.provider.WriteValue(f.thread, rd, val)
+			wrote = true
 		}
 	}
 	if f.setsFlags {
 		th.Flags = f.newFlags
+	}
+
+	// No-double-commit invariant: flushes squash uncommitted instructions
+	// and replays re-decode them under fresh sequence numbers, so the
+	// committed sequence is strictly increasing — a repeat here means an
+	// instruction retired twice.
+	if f.seq <= c.lastCommitSeq {
+		panic(fmt.Sprintf("cpu: double commit: seq %d after %d (t%d pc=%d %s)",
+			f.seq, c.lastCommitSeq, f.thread, f.pc, in))
+	}
+	c.lastCommitSeq = f.seq
+	if c.onCommit != nil {
+		ev := CommitEvent{Thread: f.thread, Seq: f.seq, PC: f.pc, Inst: in,
+			Wrote: wrote, Rd: rd, Val: val}
+		if in.IsMem() {
+			ev.Addr = f.effAddr
+			if in.IsStore() {
+				d := f.valRd
+				if n := in.MemBytes(); n < 8 {
+					d &= 1<<(8*uint(n)) - 1
+				}
+				ev.Data = d
+			}
+		}
+		c.onCommit(ev)
 	}
 
 	c.provider.InstCommitted(f.thread, f.seq)
@@ -417,6 +477,17 @@ func (c *Core) memStage() {
 	in := f.in
 	if in.IsLoad() {
 		if !f.loadIssued {
+			// An older store stalled at commit (store queue full) has not
+			// written functional memory yet; a load overlapping its address
+			// must wait, or its completion callback would read around the
+			// store. Committed stores are already in functional memory, so
+			// only the WB stage can hold such a store.
+			if s := c.wb; s != nil && !s.squashed && s.in.IsStore() &&
+				s.effAddr < f.effAddr+mem.Addr(in.MemBytes()) &&
+				f.effAddr < s.effAddr+mem.Addr(s.in.MemBytes()) {
+				c.Stats.StoreLoadStalls++
+				return
+			}
 			c.issueLoad(f)
 			if !f.loadIssued {
 				return // port/MSHR busy, retry next cycle
@@ -1040,6 +1111,7 @@ func (c *Core) RegisterMetrics(r *telemetry.Registry, prefix string) {
 	r.Counter(prefix+"/decode_fwd_stalls", &s.DecodeFwdStalls)
 	r.Counter(prefix+"/fetch_stalls", &s.FetchStalls)
 	r.Counter(prefix+"/sq_full_stalls", &s.SQFullStalls)
+	r.Counter(prefix+"/store_load_stalls", &s.StoreLoadStalls)
 	r.Counter(prefix+"/switch_cancels", &s.SwitchCancels)
 	r.Counter(prefix+"/mem_wait_cycles", &s.MemWaitCycles)
 	r.Counter(prefix+"/loads", &s.Loads)

@@ -1,0 +1,235 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/virec/virec/internal/asm/check"
+	"github.com/virec/virec/internal/cpu"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/vrmu"
+)
+
+// smallMatrix is the cheap scenario subset unit tests sweep; the full
+// Matrix() belongs to cmd/virec-difftest.
+func smallMatrix() []Scenario {
+	return []Scenario{
+		{Kind: sim.Banked, Threads: 2},
+		{Kind: sim.Software, Threads: 2},
+		{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 1},
+		{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 4},
+		{Kind: sim.ViReC, Policy: vrmu.PLRU, Threads: 2, CtxPct: 50},
+		{Kind: sim.ViReC, Policy: vrmu.MRTLRU, Threads: 2, Faults: "jitter"},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		cfg := GenConfigForSeed(seed)
+		a := Generate(seed, cfg)
+		b := Generate(seed, cfg)
+		if a.Text() != b.Text() {
+			t.Fatalf("seed %d: two generations differ:\n%s\n----\n%s", seed, a.Text(), b.Text())
+		}
+		if cfg != GenConfigForSeed(seed) {
+			t.Fatalf("seed %d: GenConfigForSeed is not deterministic", seed)
+		}
+	}
+}
+
+func TestGeneratedKernelsAnalyzerClean(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		k := Generate(seed, GenConfigForSeed(seed))
+		if rep := check.Analyze(k.Prog, EntryRegs()); !rep.Clean() {
+			t.Fatalf("seed %d: analyzer findings: %v", seed, rep.Findings)
+		}
+		n := len(k.Prog.Insts)
+		if n < 5 {
+			t.Fatalf("seed %d: improbably small program (%d insts)", seed, n)
+		}
+		if k.Prog.Insts[n-1].Op != isa.HALT {
+			t.Fatalf("seed %d: program does not end in HALT", seed)
+		}
+	}
+}
+
+func TestKernelsMatchAcrossSmallMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("co-simulation sweep")
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		k := Generate(seed, GenConfigForSeed(seed))
+		rep := Check(k, CheckOpts{Scenarios: smallMatrix()})
+		if !rep.Clean() {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, rep.Divergence, k.Text())
+		}
+		if rep.Commits == 0 {
+			t.Fatalf("seed %d: checker compared zero commits", seed)
+		}
+	}
+}
+
+func TestSameSeedSameVerdict(t *testing.T) {
+	k1 := Generate(7, GenConfigForSeed(7))
+	k2 := Generate(7, GenConfigForSeed(7))
+	sc := []Scenario{{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 2}}
+	r1 := Check(k1, CheckOpts{Scenarios: sc})
+	r2 := Check(k2, CheckOpts{Scenarios: sc})
+	if r1.Clean() != r2.Clean() || r1.Commits != r2.Commits {
+		t.Fatalf("same seed, different verdicts: %+v vs %+v", r1, r2)
+	}
+}
+
+// corruptReads is the seeded provider bug: it flips bit 0 of every value
+// the pipeline reads from the provider for one target register. Decode
+// forwards from EX/MEM/WB first, so only reads of older (out-of-window)
+// definitions are corrupted — exactly the class of bug only differential
+// testing catches, since the corrupt value computes plausibly downstream.
+type corruptReads struct {
+	cpu.Provider
+	target isa.Reg
+}
+
+func (c *corruptReads) ReadValue(thread int, r isa.Reg) uint64 {
+	v := c.Provider.ReadValue(thread, r)
+	if r == c.target {
+		v ^= 1
+	}
+	return v
+}
+
+func TestSeededBugIsCaughtAndShrunk(t *testing.T) {
+	opts := CheckOpts{
+		Scenarios: []Scenario{{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 2}},
+		WrapProvider: func(coreID int, p cpu.Provider) cpu.Provider {
+			return &corruptReads{Provider: p, target: isa.X3}
+		},
+	}
+	var k *Kernel
+	var rep *Report
+	for seed := uint64(0); seed < 20; seed++ {
+		cand := Generate(seed, GenConfigForSeed(seed))
+		if r := Check(cand, opts); !r.Clean() {
+			k, rep = cand, r
+			break
+		}
+	}
+	if k == nil {
+		t.Fatal("no seed in 0..19 tripped the planted ReadValue corruption")
+	}
+	t.Logf("seed %d diverged: %v", k.Seed, rep.Divergence)
+
+	sc, err := ParseScenario(rep.Divergence.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := Shrink(k, sc, opts, 600)
+	if sr == nil {
+		t.Fatal("shrinker could not reproduce the divergence")
+	}
+	t.Logf("shrunk %d -> %d insts in %d attempts: %v\n%s",
+		len(k.Prog.Insts), sr.Insts, sr.Attempts, sr.Divergence, sr.Kernel.Text())
+	if sr.Insts > 12 {
+		t.Fatalf("shrunk program still has %d instructions (want <= 12):\n%s",
+			sr.Insts, sr.Kernel.Text())
+	}
+	// The minimized program must itself be analyzer-clean and still fail.
+	if repAgain := Check(sr.Kernel, CheckOpts{Scenarios: []Scenario{sr.Scenario},
+		WrapProvider: opts.WrapProvider}); repAgain.Clean() {
+		t.Fatal("minimized kernel no longer diverges")
+	}
+	// ... and pass cleanly on an unmodified provider (the bug is in the
+	// wrapper, not the program).
+	if repClean := Check(sr.Kernel, CheckOpts{Scenarios: []Scenario{sr.Scenario}}); !repClean.Clean() {
+		t.Fatalf("minimized kernel diverges without the planted bug: %v", repClean.Divergence)
+	}
+}
+
+func TestScenarioStringRoundTrip(t *testing.T) {
+	for _, sc := range Matrix() {
+		got, err := ParseScenario(sc.String())
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if got != sc {
+			t.Fatalf("round trip changed %+v to %+v", sc, got)
+		}
+	}
+	for _, bad := range []string{"", "virec", "virec/t4", "banked/t0", "virec/lrc/t2/faults=nope", "banked/t2/x"} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestArtifactRoundTripAndReplay(t *testing.T) {
+	opts := CheckOpts{
+		Scenarios: []Scenario{{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 2}},
+		WrapProvider: func(coreID int, p cpu.Provider) cpu.Provider {
+			return &corruptReads{Provider: p, target: isa.X3}
+		},
+	}
+	var k *Kernel
+	var rep *Report
+	for seed := uint64(0); seed < 20; seed++ {
+		cand := Generate(seed, GenConfigForSeed(seed))
+		if r := Check(cand, opts); !r.Clean() {
+			k, rep = cand, r
+			break
+		}
+	}
+	if k == nil {
+		t.Fatal("no seed tripped the planted bug")
+	}
+	sc, _ := ParseScenario(rep.Divergence.Scenario)
+	sr := Shrink(k, sc, opts, 300)
+
+	dir := t.TempDir()
+	art := NewArtifact(k, sc, rep.Divergence, sr)
+	path, err := art.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Program != k.Text() || loaded.Seed != k.Seed {
+		t.Fatal("artifact did not round-trip the program")
+	}
+	orig, shrunk, err := loaded.Kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Text() != k.Text() {
+		t.Fatalf("reassembled program differs:\n%s\n----\n%s", orig.Text(), k.Text())
+	}
+	if sr != nil && (shrunk == nil || shrunk.Text() != sr.Kernel.Text()) {
+		t.Fatal("shrunk program did not round-trip")
+	}
+	// Replay with the planted bug reproduces; replay without it is clean.
+	again, err := loaded.Replay(CheckOpts{WrapProvider: opts.WrapProvider})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Clean() {
+		t.Fatal("replay with the planted bug did not reproduce")
+	}
+	cleanRep, err := loaded.Replay(CheckOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cleanRep.Clean() {
+		t.Fatalf("replay on a healthy provider diverged: %v", cleanRep.Divergence)
+	}
+
+	// Artifacts land where the CI upload step looks for them.
+	if filepath.Dir(path) != dir {
+		t.Fatalf("artifact written to %s, want under %s", path, dir)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("artifact file missing or empty: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package difftest
+
+import (
+	"testing"
+
+	"github.com/virec/virec/internal/asm/check"
+	"github.com/virec/virec/internal/sim"
+	"github.com/virec/virec/internal/vrmu"
+)
+
+// FuzzInterpVsPipeline drives the differential checker from raw fuzzer
+// bytes: the first eight bytes seed the generator, the rest dial the
+// configuration (clamping makes every dial legal). Every generated
+// kernel must be analyzer-clean and co-simulate identically on a cheap
+// scenario pair — one ViReC, one banked.
+func FuzzInterpVsPipeline(f *testing.F) {
+	f.Add(uint64(0), uint8(10), uint8(4), uint8(2), uint8(6), uint8(30))
+	f.Add(uint64(42), uint8(2), uint8(0), uint8(0), uint8(1), uint8(60))
+	f.Add(uint64(7), uint8(22), uint8(16), uint8(3), uint8(64), uint8(15))
+	f.Fuzz(func(t *testing.T, seed uint64, intRegs, fpRegs, depth, trip, memPct uint8) {
+		cfg := GenConfig{
+			Insts:      24,
+			IntRegs:    int(intRegs),
+			FPRegs:     int(fpRegs) % 17,
+			LoopDepth:  int(depth) % 4,
+			MaxTrip:    int(trip),
+			ArenaBytes: 256,
+			MemPct:     int(memPct),
+		}
+		k := Generate(seed, cfg)
+		if rep := check.Analyze(k.Prog, EntryRegs()); !rep.Clean() {
+			t.Fatalf("seed %#x cfg %+v: analyzer findings: %v", seed, cfg, rep.Findings)
+		}
+		scenarios := []Scenario{
+			{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 2},
+			{Kind: sim.Banked, Threads: 2},
+		}
+		if seed%4 == 0 {
+			scenarios = append(scenarios, Scenario{Kind: sim.ViReC, Policy: vrmu.PLRU, Threads: 2, CtxPct: 50})
+		}
+		rep := Check(k, CheckOpts{Scenarios: scenarios})
+		if !rep.Clean() {
+			t.Fatalf("seed %#x cfg %+v diverged: %v\nprogram:\n%s", seed, cfg, rep.Divergence, k.Text())
+		}
+	})
+}

@@ -35,11 +35,18 @@ func (c *Context) Set(r isa.Reg, v uint64) {
 	}
 }
 
-// TraceEntry describes one executed instruction.
+// TraceEntry describes one executed instruction, including its committed
+// architectural effects — the differential checker compares these fields
+// one-for-one against the pipeline's commit stream.
 type TraceEntry struct {
 	PC   int
 	Inst *isa.Inst
 	Addr mem.Addr // effective address for loads/stores
+
+	Wrote bool    // a non-XZR register was written
+	Rd    isa.Reg // destination register when Wrote
+	Val   uint64  // value written when Wrote
+	Data  uint64  // store data, masked to the access width
 }
 
 // Result summarizes a run.
@@ -70,15 +77,25 @@ func Run(prog *asm.Program, ctx *Context, m *mem.Memory, maxInsts uint64, trace 
 		case in.IsLoad():
 			addr := mem.Addr(isa.EffAddr(in, ctx.Get(in.Rn), ctx.Get(in.Rm)))
 			entry.Addr = addr
-			ctx.Set(in.Rd, isa.LoadExtend(in.Op, m.Read(addr, in.MemBytes())))
+			v := isa.LoadExtend(in.Op, m.Read(addr, in.MemBytes()))
+			ctx.Set(in.Rd, v)
+			if in.Rd != isa.XZR {
+				entry.Wrote, entry.Rd, entry.Val = true, in.Rd, v
+			}
 		case in.IsStore():
 			addr := mem.Addr(isa.EffAddr(in, ctx.Get(in.Rn), ctx.Get(in.Rm)))
 			entry.Addr = addr
-			m.Write(addr, in.MemBytes(), ctx.Get(in.Rd))
+			data := ctx.Get(in.Rd)
+			m.Write(addr, in.MemBytes(), data)
+			if n := in.MemBytes(); n < 8 {
+				data &= 1<<(8*uint(n)) - 1
+			}
+			entry.Data = data
 		case in.IsBranch():
 			rn := ctx.Get(in.Rn)
 			if in.Op == isa.BL {
 				ctx.Set(isa.X30, uint64(ctx.PC+1))
+				entry.Wrote, entry.Rd, entry.Val = true, isa.X30, uint64(ctx.PC+1)
 			}
 			if isa.BranchTaken(in, ctx.Flags, rn) {
 				if in.Op == isa.RET {
@@ -95,6 +112,9 @@ func Run(prog *asm.Program, ctx *Context, m *mem.Memory, maxInsts uint64, trace 
 			r := isa.EvalALU(in, op1, ctx.Get(in.Rm), ctx.Get(in.Ra), ctx.Flags)
 			if r.WritesReg {
 				ctx.Set(in.Rd, r.Value)
+				if in.Rd != isa.XZR {
+					entry.Wrote, entry.Rd, entry.Val = true, in.Rd, r.Value
+				}
 			}
 			if r.WritesFlag {
 				ctx.Flags = r.Flags

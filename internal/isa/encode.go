@@ -1,0 +1,82 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedBytes is the size of one instruction in the fixed-width binary
+// encoding. The encoding exists for tooling — repro artifacts, fuzzing,
+// hashing programs — not for the simulated machine, whose architectural
+// instruction size stays InstBytes (instructions execute from decoded
+// form).
+//
+// Layout (little-endian):
+//
+//	byte  0      Op
+//	byte  1..4   Rd, Rn, Rm, Ra
+//	byte  5      Shift
+//	byte  6      Cond (low nibble) | Mode (high nibble)
+//	byte  7      reserved, must be zero
+//	bytes 8..15  Imm  (int64)
+//	bytes 16..19 Target (int32)
+const EncodedBytes = 20
+
+// Encode appends the fixed-width binary form of the instruction to dst.
+func (in *Inst) Encode(dst []byte) []byte {
+	var b [EncodedBytes]byte
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Rd)
+	b[2] = byte(in.Rn)
+	b[3] = byte(in.Rm)
+	b[4] = byte(in.Ra)
+	b[5] = in.Shift
+	b[6] = byte(in.Cond) | byte(in.Mode)<<4
+	binary.LittleEndian.PutUint64(b[8:], uint64(in.Imm))
+	binary.LittleEndian.PutUint32(b[16:], uint32(in.Target))
+	return append(dst, b[:]...)
+}
+
+// Decode reads one instruction from the start of b, validating every
+// field: an instruction that decodes successfully re-encodes to the same
+// bytes, and all of its register, condition, mode and shift fields are in
+// range for the ISA.
+func Decode(b []byte) (Inst, error) {
+	var in Inst
+	if len(b) < EncodedBytes {
+		return in, fmt.Errorf("isa: short encoding: %d bytes, need %d", len(b), EncodedBytes)
+	}
+	if Op(b[0]) >= numOps {
+		return in, fmt.Errorf("isa: bad opcode %d", b[0])
+	}
+	for i, name := range [...]string{"", "Rd", "Rn", "Rm", "Ra"} {
+		if i > 0 && b[i] >= NumRegs {
+			return in, fmt.Errorf("isa: bad %s register %d", name, b[i])
+		}
+	}
+	if b[5] >= 64 {
+		return in, fmt.Errorf("isa: bad shift %d", b[5])
+	}
+	if cond := b[6] & 0xf; int(cond) >= len(condNames) {
+		return in, fmt.Errorf("isa: bad condition %d", cond)
+	}
+	if mode := b[6] >> 4; mode > uint8(AddrRegShift) {
+		return in, fmt.Errorf("isa: bad addressing mode %d", mode)
+	}
+	if b[7] != 0 {
+		return in, fmt.Errorf("isa: reserved byte %#x", b[7])
+	}
+	in = Inst{
+		Op:     Op(b[0]),
+		Rd:     Reg(b[1]),
+		Rn:     Reg(b[2]),
+		Rm:     Reg(b[3]),
+		Ra:     Reg(b[4]),
+		Shift:  b[5],
+		Cond:   Cond(b[6] & 0xf),
+		Mode:   AddrMode(b[6] >> 4),
+		Imm:    int64(binary.LittleEndian.Uint64(b[8:])),
+		Target: int32(binary.LittleEndian.Uint32(b[16:])),
+	}
+	return in, nil
+}

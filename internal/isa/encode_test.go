@@ -1,0 +1,92 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{Op: NOP},
+		{Op: ADD, Rd: X3, Rn: X4, Rm: X5},
+		{Op: MADD, Rd: X3, Rn: X4, Rm: X5, Ra: X6},
+		{Op: ADDI, Rd: X1, Rn: X2, Imm: 4095},
+		{Op: SUBI, Rd: X1, Rn: X2, Imm: -7},
+		{Op: MOVZ, Rd: X9, Imm: 0xbeef, Shift: 3},
+		{Op: MOVK, Rd: X9, Imm: 0x1234, Shift: 1},
+		{Op: CSEL, Rd: X1, Rn: X2, Rm: X3, Cond: CondLO},
+		{Op: BNE, Target: 42},
+		{Op: CBNZ, Rn: X7, Target: -1},
+		{Op: LDR, Rd: X4, Rn: X2, Rm: X5, Mode: AddrRegShift, Shift: 3},
+		{Op: STRB, Rd: X4, Rn: X2, Imm: 17, Mode: AddrImm},
+		{Op: FMADD, Rd: V1, Rn: V2, Rm: V3, Ra: V4},
+		{Op: HALT},
+	}
+	for _, in := range insts {
+		enc := in.Encode(nil)
+		if len(enc) != EncodedBytes {
+			t.Fatalf("%s: encoded to %d bytes, want %d", in.String(), len(enc), EncodedBytes)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", in.String(), err)
+		}
+		if got != in {
+			t.Errorf("round trip changed %+v to %+v", in, got)
+		}
+	}
+}
+
+func TestDecodeRejectsBadFields(t *testing.T) {
+	good := (&Inst{Op: ADD, Rd: X1, Rn: X2, Rm: X3}).Encode(nil)
+	cases := []struct {
+		name  string
+		byte_ int
+		val   byte
+	}{
+		{"opcode", 0, byte(numOps)},
+		{"rd", 1, NumRegs},
+		{"rn", 2, 0xff},
+		{"shift", 5, 64},
+		{"cond", 6, 0x0f},
+		{"mode", 6, 0x30},
+		{"reserved", 7, 1},
+	}
+	for _, c := range cases {
+		b := append([]byte(nil), good...)
+		b[c.byte_] = c.val
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: decode accepted invalid byte %d = %#x", c.name, c.byte_, c.val)
+		}
+	}
+	if _, err := Decode(good[:EncodedBytes-1]); err == nil {
+		t.Error("decode accepted a short buffer")
+	}
+}
+
+// FuzzEncodeDecode feeds raw bytes to Decode; every accepted instruction
+// must re-encode to exactly the bytes it was decoded from, and survive a
+// second round trip unchanged.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add((&Inst{Op: ADD, Rd: X1, Rn: X2, Rm: X3}).Encode(nil))
+	f.Add((&Inst{Op: LDR, Rd: X4, Rn: X2, Rm: X5, Mode: AddrRegShift, Shift: 3}).Encode(nil))
+	f.Add((&Inst{Op: MOVZ, Rd: X9, Imm: -1, Shift: 2}).Encode(nil))
+	f.Add(make([]byte, EncodedBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := in.Encode(nil)
+		if !bytes.Equal(enc, data[:EncodedBytes]) {
+			t.Fatalf("decode(%x) = %+v re-encodes to %x", data[:EncodedBytes], in, enc)
+		}
+		again, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %x failed: %v", enc, err)
+		}
+		if again != in {
+			t.Fatalf("second round trip changed %+v to %+v", in, again)
+		}
+	})
+}

@@ -26,8 +26,11 @@ func TestPipelineMatchesInterpreterInstructionCounts(t *testing.T) {
 			w.Setup(m, 0x10000, p, func(r isa.Reg, v uint64) { ctx.Set(r, v) })
 			fn := interp.MustRun(w.Prog, &ctx, m, 100_000_000)
 
-			// Timed execution, single thread (no replays inflate commits
-			// beyond... replays never double-commit, so counts match).
+			// Timed execution, single thread. Switch-on-miss replays
+			// re-fetch squashed instructions but never double-commit:
+			// the commit stage asserts strictly increasing sequence
+			// numbers (cpu.Core's lastCommitSeq check panics on any
+			// repeat), so commit counts match the interpreter exactly.
 			res, err := sim.Simulate(sim.Config{
 				Kind: sim.ViReC, ThreadsPerCore: 1,
 				Workload: w, Iters: iters,
@@ -92,6 +95,84 @@ func TestFPWorkloadsAcrossProviders(t *testing.T) {
 				})
 				if err != nil {
 					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestFullArchitecturalStateEquivalence is the strong form of the
+// count-equality tests above: for every shipped workload, on every
+// provider and every ViReC replacement policy, the pipeline's final
+// architectural state — all 64 registers of every thread plus every byte
+// of every thread's data slab — must equal the functional interpreter's,
+// bit for bit. The register comparison reads the commit-order shadow,
+// which the commit stage feeds with the pipeline's actual writeback
+// values, so a provider that corrupts a fill or spill cannot hide.
+func TestFullArchitecturalStateEquivalence(t *testing.T) {
+	const (
+		iters   = 32
+		threads = 2
+		seed    = uint64(0x9e3779b97f4a7c15)
+	)
+	type variant struct {
+		kind   sim.CoreKind
+		policy vrmu.Policy
+	}
+	variants := []variant{{kind: sim.Banked}, {kind: sim.Software}}
+	for _, pol := range vrmu.AllPolicies() {
+		variants = append(variants, variant{kind: sim.ViReC, policy: pol})
+	}
+	for _, w := range workloads.All() {
+		for _, v := range variants {
+			name := w.Name + "/" + v.kind.String()
+			if v.kind == sim.ViReC {
+				name += "/" + v.policy.String()
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := sim.Config{
+					Kind: v.kind, ThreadsPerCore: threads,
+					Workload: w, Iters: iters,
+					ContextPct: 60, Policy: v.policy,
+					Seed: seed,
+				}
+
+				// Functional reference: same offload payload, same
+				// address-space layout, one context per hardware thread.
+				refMem := mem.NewMemory()
+				refCtx := make([]interp.Context, threads)
+				for th := 0; th < threads; th++ {
+					base := cfg.ThreadSlabBase(0, th)
+					p := workloads.Params{Iters: iters, Seed: seed, ThreadID: th}
+					ctx := &refCtx[th]
+					w.Setup(refMem, base, p, func(r isa.Reg, v uint64) { ctx.Set(r, v) })
+				}
+				for th := 0; th < threads; th++ {
+					interp.MustRun(w.Prog, &refCtx[th], refMem, 100_000_000)
+				}
+
+				sys, err := sim.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sys.Run(); err != nil {
+					t.Fatal(err)
+				}
+
+				for th := 0; th < threads; th++ {
+					for r := isa.Reg(0); r < isa.NumRegs; r++ {
+						got, want := sys.Cores[0].Thread(th).Shadow(r), refCtx[th].Get(r)
+						if got != want {
+							t.Errorf("thread %d: final %s = %#x, interpreter %#x", th, r, got, want)
+						}
+					}
+					base := cfg.ThreadSlabBase(0, th)
+					for off := uint64(0); off < w.SlabBytes; off += 8 {
+						a := base + mem.Addr(off)
+						if got, want := sys.Memory.Read64(a), refMem.Read64(a); got != want {
+							t.Fatalf("thread %d: final mem[%#x] = %#x, interpreter %#x", th, a, got, want)
+						}
+					}
 				}
 			})
 		}

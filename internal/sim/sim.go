@@ -136,6 +136,14 @@ type Config struct {
 	// OnMetrics receives the periodic snapshots.
 	OnMetrics func(*telemetry.Snapshot)
 
+	// WrapProvider, when set, may replace each core's register provider
+	// with the value it returns (a nil return keeps the original). The
+	// differential-test harness uses it to interpose deliberately buggy
+	// wrappers between the pipeline and a real provider; normal runs
+	// leave it nil. Applied after kind-specific wiring, so metrics,
+	// telemetry and oracle installation see the unwrapped provider.
+	WrapProvider func(coreID int, p cpu.Provider) cpu.Provider
+
 	MaxCycles uint64
 }
 
@@ -361,6 +369,11 @@ func New(cfg Config) (*System, error) {
 			v.RegisterMetrics(s.Registry, fmt.Sprintf("rf%d", coreID))
 			v.SetTelemetry(s.Tracer, coreID)
 		}
+		if cfg.WrapProvider != nil {
+			if w := cfg.WrapProvider(coreID, provider); w != nil {
+				provider = w
+			}
+		}
 
 		core := cpu.New(pipeCfg, provider, dcDev, s.Memory)
 		core.RegisterMetrics(s.Registry, fmt.Sprintf("core%d", coreID))
@@ -414,6 +427,38 @@ func (s *System) recordOracles() {
 	}
 }
 
+// SetOnCommit installs a per-commit observer on every core; the callback
+// fires once per committed instruction with the core's id, in each core's
+// commit order. Install before Run.
+func (s *System) SetOnCommit(fn func(coreID int, ev cpu.CommitEvent)) {
+	for id, c := range s.Cores {
+		id := id
+		c.SetOnCommit(func(ev cpu.CommitEvent) { fn(id, ev) })
+	}
+}
+
+// ThreadSlabBase returns the base address of the private data slab thread
+// th of core coreID is offloaded with under this config — the same layout
+// arithmetic offload uses, exposed so differential tests can build golden
+// references against an identical address space before the system exists.
+func (c *Config) ThreadSlabBase(coreID, th int) mem.Addr {
+	cfg := c.withDefaults()
+	slab := cfg.slabStride()
+	global := coreID*cfg.ThreadsPerCore + th
+	return dataBase + mem.Addr(uint64(global)*slab)
+}
+
+// slabStride returns the per-thread data-slab stride.
+func (c *Config) slabStride() uint64 {
+	max := c.Workload.SlabBytes
+	for _, w := range c.WorkloadMix {
+		if w.SlabBytes > max {
+			max = w.SlabBytes
+		}
+	}
+	return max + slabSkew
+}
+
 // specFor returns the kernel hardware thread th runs.
 func (s *System) specFor(th int) *workloads.Spec {
 	if len(s.cfg.WorkloadMix) > 0 {
@@ -422,24 +467,13 @@ func (s *System) specFor(th int) *workloads.Spec {
 	return s.cfg.Workload
 }
 
-// maxSlabBytes returns the largest per-thread data footprint in play.
-func (s *System) maxSlabBytes() uint64 {
-	max := s.cfg.Workload.SlabBytes
-	for _, w := range s.cfg.WorkloadMix {
-		if w.SlabBytes > max {
-			max = w.SlabBytes
-		}
-	}
-	return max
-}
-
 // offload writes each thread's program context: data slab initialization,
 // initial registers into the reserved region (the offload payload), and
 // the golden shadow for validation.
 func (s *System) offload() {
 	cfg := s.cfg
 	s.verifies = make([][]workloads.Verify, cfg.Cores)
-	slab := s.maxSlabBytes() + slabSkew
+	slab := s.cfg.slabStride()
 	for coreID, core := range s.Cores {
 		s.verifies[coreID] = make([]workloads.Verify, cfg.ThreadsPerCore)
 		for th := 0; th < cfg.ThreadsPerCore; th++ {
