@@ -10,11 +10,28 @@
 //	virec-difftest -seeds 500:1000       # explicit seed range
 //	virec-difftest -scenarios virec/lrc/t8,banked/t4
 //	virec-difftest -replay out/seed-0000000000000017.json
+//	virec-difftest -n 500 -farm http://localhost:7741
 //
-// Exit status: 0 all seeds clean, 1 divergence found, 2 usage/run error.
+// With -farm URL each seed becomes a job on a virec-farm server; the
+// sweep aggregates the per-seed results and, on divergence, regenerates
+// the kernel locally (generation is a pure function of the seed) to
+// shrink and write the repro artifact.
+//
+// Exit status:
+//
+//	0  every seed clean
+//	1  usage error (bad flags, bad seed range, bad scenario)
+//	2  divergence found (the simulator and the reference disagree)
+//	3  harness crash (a scenario failed to run, the sweep or farm
+//	   errored, or a replay artifact could not be loaded)
+//
+// A run that sees both real divergences and harness crashes exits 2:
+// a confirmed model bug outranks broken plumbing.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +39,22 @@ import (
 	"strings"
 
 	"github.com/virec/virec/internal/difftest"
+	"github.com/virec/virec/internal/farm"
 	"github.com/virec/virec/internal/sweep"
 )
+
+const (
+	exitClean      = 0
+	exitUsage      = 1
+	exitDivergence = 2
+	exitCrash      = 3
+)
+
+// isCrash reports whether a divergence records harness breakage rather
+// than a genuine model/reference disagreement.
+func isCrash(d *difftest.Divergence) bool {
+	return d != nil && d.Kind == "run-error"
+}
 
 func main() {
 	var (
@@ -36,21 +67,27 @@ func main() {
 		shrinkN  = flag.Int("shrink-attempts", 800, "max differential checks the shrinker may spend (0 disables shrinking)")
 		maxCyc   = flag.Uint64("max-cycles", 0, "per-scenario cycle budget (default 20M)")
 		quiet    = flag.Bool("q", false, "only print failures and the final summary")
+		farmURL  = flag.String("farm", "", "run each seed as a job on this virec-farm server")
 	)
 	flag.Parse()
 
 	opts := difftest.CheckOpts{MaxCycles: *maxCyc}
+	var scenarioNames []string
 	if *scStr != "" {
 		for _, s := range strings.Split(*scStr, ",") {
 			sc, err := difftest.ParseScenario(strings.TrimSpace(s))
 			if err != nil {
-				fatal(err)
+				fatalUsage(err)
 			}
 			opts.Scenarios = append(opts.Scenarios, sc)
+			scenarioNames = append(scenarioNames, strings.TrimSpace(s))
 		}
 	}
 
 	if *replay != "" {
+		if *farmURL != "" {
+			fatalUsage(fmt.Errorf("-replay runs locally; it cannot be combined with -farm"))
+		}
 		os.Exit(replayArtifact(*replay, opts))
 	}
 
@@ -59,12 +96,12 @@ func main() {
 	case *seedsStr != "":
 		var err error
 		if lo, hi, err = parseSeeds(*seedsStr); err != nil {
-			fatal(err)
+			fatalUsage(err)
 		}
 	case *n > 0:
 		hi = uint64(*n)
 	default:
-		fatal(fmt.Errorf("nothing to do: pass -n, -seeds or -replay"))
+		fatalUsage(fmt.Errorf("nothing to do: pass -n, -seeds or -replay"))
 	}
 
 	seeds := make([]uint64, 0, hi-lo)
@@ -75,56 +112,149 @@ func main() {
 	if nScenarios == 0 {
 		nScenarios = len(difftest.Matrix())
 	}
-	if !*quiet {
-		fmt.Printf("difftest: %d seeds x %d scenarios, %d workers\n",
-			len(seeds), nScenarios, sweep.New(*parallel).Workers())
+
+	var commits uint64
+	divergences, crashes := 0, 0
+	if *farmURL != "" {
+		if !*quiet {
+			fmt.Printf("difftest: %d seeds x %d scenarios via farm %s\n",
+				len(seeds), nScenarios, *farmURL)
+		}
+		var err error
+		commits, divergences, crashes, err = runOnFarm(
+			*farmURL, seeds, scenarioNames, opts, *maxCyc, *shrinkN, *outDir)
+		if err != nil {
+			fatalCrash(err)
+		}
+	} else {
+		if !*quiet {
+			fmt.Printf("difftest: %d seeds x %d scenarios, %d workers\n",
+				len(seeds), nScenarios, sweep.New(*parallel).Workers())
+		}
+		var err error
+		commits, divergences, crashes, err = runLocal(seeds, opts, *parallel, *shrinkN, *outDir)
+		if err != nil {
+			fatalCrash(err)
+		}
 	}
 
+	if !*quiet || divergences > 0 || crashes > 0 {
+		fmt.Printf("difftest: %d seeds, %d commits compared, %d divergences, %d harness crashes\n",
+			len(seeds), commits, divergences, crashes)
+	}
+	switch {
+	case divergences > 0:
+		os.Exit(exitDivergence)
+	case crashes > 0:
+		os.Exit(exitCrash)
+	}
+}
+
+// runLocal sweeps the seeds in-process with a worker pool.
+func runLocal(seeds []uint64, opts difftest.CheckOpts, parallel, shrinkN int, outDir string) (commits uint64, divergences, crashes int, err error) {
 	type verdict struct {
 		rep *difftest.Report
 		sr  *difftest.ShrinkResult
 	}
 	// Each seed is independent; divergences are shrunk inside the worker
 	// so the whole sweep parallelizes.
-	results, err := sweep.Map(sweep.New(*parallel), seeds,
+	results, err := sweep.Map(sweep.New(parallel), seeds,
 		func(seed uint64, _ int) (verdict, error) {
 			k := difftest.Generate(seed, difftest.GenConfigForSeed(seed))
 			rep := difftest.Check(k, opts)
 			v := verdict{rep: rep}
-			if rep.Divergence != nil && *shrinkN > 0 {
+			if rep.Divergence != nil && shrinkN > 0 && !isCrash(rep.Divergence) {
 				if sc, err := difftest.ParseScenario(rep.Divergence.Scenario); err == nil {
-					v.sr = difftest.Shrink(k, sc, opts, *shrinkN)
+					v.sr = difftest.Shrink(k, sc, opts, shrinkN)
 				}
 			}
 			if rep.Divergence != nil {
-				sc, _ := difftest.ParseScenario(rep.Divergence.Scenario)
-				art := difftest.NewArtifact(k, sc, rep.Divergence, v.sr)
-				if path, werr := art.Write(*outDir); werr == nil {
-					fmt.Fprintf(os.Stderr, "difftest: seed %d: %v\n  repro: %s\n", seed, rep.Divergence, path)
-				} else {
-					fmt.Fprintf(os.Stderr, "difftest: seed %d: %v\n  (artifact write failed: %v)\n", seed, rep.Divergence, werr)
-				}
+				reportDivergence(seed, k, rep.Divergence, v.sr, outDir)
 			}
 			return v, nil
 		})
 	if err != nil {
-		fatal(err)
+		return 0, 0, 0, err
 	}
-
-	var commits uint64
-	failures := 0
 	for _, v := range results {
 		commits += v.rep.Commits
-		if v.rep.Divergence != nil {
-			failures++
+		switch {
+		case isCrash(v.rep.Divergence):
+			crashes++
+		case v.rep.Divergence != nil:
+			divergences++
 		}
 	}
-	if !*quiet || failures > 0 {
-		fmt.Printf("difftest: %d seeds, %d commits compared, %d divergences\n",
-			len(seeds), commits, failures)
+	return commits, divergences, crashes, nil
+}
+
+// runOnFarm submits one difftest job per seed, waits for all of them,
+// and post-processes divergences locally: the kernel is regenerated from
+// the seed (generation is deterministic), shrunk, and written as a repro
+// artifact exactly as the in-process sweep would have done.
+func runOnFarm(url string, seeds []uint64, scenarioNames []string, opts difftest.CheckOpts, maxCyc uint64, shrinkN int, outDir string) (commits uint64, divergences, crashes int, err error) {
+	ctx := context.Background()
+	client := farm.NewClient(url)
+
+	ids := make([]uint64, len(seeds))
+	for i, seed := range seeds {
+		job, err := client.Submit(ctx, &farm.Spec{
+			Kind: farm.KindDifftest,
+			Difftest: &farm.DifftestSpec{
+				Seed:      seed,
+				Scenarios: scenarioNames,
+				MaxCycles: maxCyc,
+			},
+		})
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("submitting seed %d: %w", seed, err)
+		}
+		ids[i] = job.ID
 	}
-	if failures > 0 {
-		os.Exit(1)
+	for i, id := range ids {
+		out, _, err := client.WaitResult(ctx, id)
+		if err != nil {
+			// The job itself died (crash, quarantine, deadline): harness
+			// trouble, not a verified divergence.
+			fmt.Fprintf(os.Stderr, "difftest: seed %d: %v\n", seeds[i], err)
+			crashes++
+			continue
+		}
+		var res farm.DifftestResult
+		if err := json.Unmarshal(out, &res); err != nil {
+			return 0, 0, 0, fmt.Errorf("seed %d: bad farm result: %w", seeds[i], err)
+		}
+		commits += res.Commits
+		if res.Divergence == nil {
+			continue
+		}
+		if isCrash(res.Divergence) {
+			crashes++
+			fmt.Fprintf(os.Stderr, "difftest: seed %d: %v\n", seeds[i], res.Divergence)
+			continue
+		}
+		divergences++
+		k := difftest.Generate(seeds[i], difftest.GenConfigForSeed(seeds[i]))
+		var sr *difftest.ShrinkResult
+		if shrinkN > 0 {
+			if sc, err := difftest.ParseScenario(res.Divergence.Scenario); err == nil {
+				sr = difftest.Shrink(k, sc, opts, shrinkN)
+			}
+		}
+		reportDivergence(seeds[i], k, res.Divergence, sr, outDir)
+	}
+	return commits, divergences, crashes, nil
+}
+
+// reportDivergence writes the repro artifact and a stderr notice for one
+// diverged seed.
+func reportDivergence(seed uint64, k *difftest.Kernel, d *difftest.Divergence, sr *difftest.ShrinkResult, outDir string) {
+	sc, _ := difftest.ParseScenario(d.Scenario)
+	art := difftest.NewArtifact(k, sc, d, sr)
+	if path, werr := art.Write(outDir); werr == nil {
+		fmt.Fprintf(os.Stderr, "difftest: seed %d: %v\n  repro: %s\n", seed, d, path)
+	} else {
+		fmt.Fprintf(os.Stderr, "difftest: seed %d: %v\n  (artifact write failed: %v)\n", seed, d, werr)
 	}
 }
 
@@ -132,20 +262,24 @@ func replayArtifact(path string, opts difftest.CheckOpts) int {
 	art, err := difftest.LoadArtifact(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "virec-difftest:", err)
-		return 2
+		return exitCrash
 	}
 	fmt.Printf("replaying seed %d under %s\n", art.Seed, art.Scenario)
 	rep, err := art.Replay(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "virec-difftest:", err)
-		return 2
+		return exitCrash
 	}
-	if rep.Divergence != nil {
+	switch {
+	case isCrash(rep.Divergence):
+		fmt.Printf("harness crash: %v\n", rep.Divergence)
+		return exitCrash
+	case rep.Divergence != nil:
 		fmt.Printf("reproduced: %v\n", rep.Divergence)
-		return 1
+		return exitDivergence
 	}
 	fmt.Printf("clean: %d commits matched (the recorded divergence did not reproduce)\n", rep.Commits)
-	return 0
+	return exitClean
 }
 
 func parseSeeds(s string) (lo, hi uint64, err error) {
@@ -167,7 +301,15 @@ func parseSeeds(s string) (lo, hi uint64, err error) {
 	return lo, lo + 1, nil
 }
 
-func fatal(err error) {
+// fatalUsage reports a command-line problem (exit 1).
+func fatalUsage(err error) {
 	fmt.Fprintln(os.Stderr, "virec-difftest:", err)
-	os.Exit(2)
+	os.Exit(exitUsage)
+}
+
+// fatalCrash reports harness breakage (exit 3): the sweep or the farm
+// failed in a way that is neither clean nor a verified divergence.
+func fatalCrash(err error) {
+	fmt.Fprintln(os.Stderr, "virec-difftest:", err)
+	os.Exit(exitCrash)
 }

@@ -7,9 +7,16 @@
 //	virec-experiments -exp fig12
 //	virec-experiments -exp all -quick
 //	virec-experiments -exp all -parallel 8
+//	virec-experiments -exp fig9 -quick -farm http://localhost:7741
+//
+// With -farm URL each experiment is submitted to a virec-farm server as
+// a job instead of running inline; the output bytes are identical either
+// way (repeat submissions are served from the farm's content-addressed
+// result cache).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,6 +25,7 @@ import (
 	"runtime/pprof"
 
 	"github.com/virec/virec/internal/experiments"
+	"github.com/virec/virec/internal/farm"
 	"github.com/virec/virec/internal/sim"
 	"github.com/virec/virec/internal/telemetry"
 )
@@ -33,6 +41,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metrics  = flag.String("metrics-json", "", "write the merged telemetry snapshot of every simulation run as JSON to this file ('-' = stdout)")
+		farmURL  = flag.String("farm", "", "submit experiments to this virec-farm server instead of running inline")
 	)
 	flag.Parse()
 
@@ -97,6 +106,19 @@ func main() {
 	if *exp == "all" {
 		names = experiments.Names()
 	}
+
+	if *farmURL != "" {
+		if *metrics != "" {
+			fmt.Fprintln(os.Stderr, "virec-experiments: -metrics-json is not supported with -farm (use the farm's /api/v1/metrics endpoint)")
+			os.Exit(2)
+		}
+		if err := runOnFarm(*farmURL, names, *quick, *iters, *format); err != nil {
+			fmt.Fprintln(os.Stderr, "virec-experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, name := range names {
 		rep, err := experiments.Run(name, opt)
 		if err != nil {
@@ -124,6 +146,49 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runOnFarm submits one job per experiment to a virec-farm server and
+// prints each result as it completes, in experiment order. The bytes a
+// job yields are exactly what the inline path would have printed, so
+// farm and inline runs diff clean.
+func runOnFarm(url string, names []string, quick bool, iters int, format string) error {
+	ctx := context.Background()
+	client := farm.NewClient(url)
+
+	// Submit everything up front (the farm runs jobs concurrently),
+	// then collect in submission order.
+	ids := make([]uint64, len(names))
+	cached := make([]bool, len(names))
+	for i, name := range names {
+		job, err := client.Submit(ctx, &farm.Spec{
+			Kind: farm.KindExperiment,
+			Experiment: &farm.ExperimentSpec{
+				Name:   name,
+				Quick:  quick,
+				Iters:  iters,
+				Format: format,
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("submitting %s: %w", name, err)
+		}
+		ids[i] = job.ID
+		// Already done at submission time: the farm served the result
+		// from its content-addressed cache without executing anything.
+		cached[i] = job.State == farm.StateDone
+	}
+	for i, id := range ids {
+		out, job, err := client.WaitResult(ctx, id)
+		if err != nil {
+			return fmt.Errorf("experiment %s (job %d): %w", names[i], id, err)
+		}
+		if cached[i] || job.FromCache {
+			fmt.Fprintf(os.Stderr, "virec-experiments: %s served from farm cache (%s)\n", names[i], job.Key[:12])
+		}
+		os.Stdout.Write(out)
+	}
+	return nil
 }
 
 // writeSnapshot writes the aggregate snapshot as indented JSON to path,

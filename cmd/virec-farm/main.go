@@ -1,0 +1,105 @@
+// Command virec-farm is the long-running simulation service: a crash-safe
+// persistent job queue with supervised workers and a content-addressed
+// result cache, serving simulation, difftest and experiment jobs over
+// HTTP (see internal/farm).
+//
+// Usage:
+//
+//	virec-farm -dir farm-data -addr :7741 -workers 8
+//
+// The data directory holds the append-only journal, the atomic
+// checkpoint and the result cache; restarting against the same directory
+// re-queues in-flight jobs, never re-runs completed ones, and serves
+// previously computed results from cache. SIGTERM/SIGINT drain
+// gracefully: admission stops, in-flight jobs finish, pending jobs are
+// checkpointed for the next start. A second signal exits immediately
+// (the journal makes even that safe).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/virec/virec/internal/farm"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7741", "HTTP listen address")
+		dir         = flag.String("dir", "farm-data", "persistence root: journal, checkpoint, result cache")
+		workers     = flag.Int("workers", 0, "worker count (0 = all CPUs)")
+		queueCap    = flag.Int("queue-cap", 1024, "max live jobs before submissions get 429")
+		maxRetries  = flag.Int("max-retries", 3, "re-executions per failing job before it is marked failed")
+		backoff     = flag.Duration("backoff", 250*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		backoffMax  = flag.Duration("backoff-max", 15*time.Second, "retry backoff cap")
+		deadline    = flag.Duration("deadline", 15*time.Minute, "per-attempt job deadline (0 disables)")
+		drainWait   = flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on SIGTERM")
+		codeVersion = flag.String("code-version", farm.CodeVersion, "cache-key code version")
+		noSync      = flag.Bool("no-sync", false, "skip fsync on journal appends (faster, loses power-failure durability)")
+	)
+	flag.Parse()
+
+	f, err := farm.Open(farm.Options{
+		Dir:         *dir,
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		MaxRetries:  *maxRetries,
+		BackoffBase: *backoff,
+		BackoffMax:  *backoffMax,
+		JobDeadline: *deadline,
+		CodeVersion: *codeVersion,
+		SyncJournal: !*noSync,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	f.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: farm.NewServer(f)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "virec-farm: serving on %s, data in %s (queue depth %d recovered)\n",
+		ln.Addr(), *dir, f.QueueDepth())
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "virec-farm: %v: draining (in-flight jobs finish, pending jobs checkpoint)\n", sig)
+	}
+
+	// Second signal: abandon the drain. The journal re-queues whatever
+	// was in flight on the next start.
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "virec-farm: second signal, exiting immediately")
+		os.Exit(1)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := f.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "virec-farm:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "virec-farm: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "virec-farm:", err)
+	os.Exit(1)
+}

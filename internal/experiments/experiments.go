@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -32,6 +33,20 @@ type Options struct {
 	// merge over it is deterministic). It runs on the caller's goroutine
 	// after each sweep completes.
 	OnResult func(*sim.Result)
+
+	// Ctx, when non-nil, cancels the experiment's sweeps: once done, no
+	// new simulation starts and the experiment returns the context error.
+	// Farm job deadlines and graceful drains use this; nil means no
+	// cancellation and leaves behaviour (and output bytes) unchanged.
+	Ctx context.Context
+}
+
+// ctx returns the cancellation context in effect.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // engine returns the sweep engine the Parallel setting selects.
@@ -57,7 +72,7 @@ func (b *batch) add(cfg sim.Config) int {
 
 // run executes every queued sim with opt's engine.
 func (b *batch) run(opt Options) ([]*sim.Result, error) {
-	results, err := sweep.Sims(opt.engine(), b.cfgs)
+	results, err := sweep.SimsCtx(opt.ctx(), opt.engine(), b.cfgs)
 	if err != nil {
 		return nil, err
 	}

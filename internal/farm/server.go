@@ -1,0 +1,114 @@
+// The HTTP face of the farm: a small JSON API with explicit
+// backpressure. Admission failures map onto status codes — 429 for a
+// full queue, 503 while draining — so clients can implement retry
+// policies without parsing error prose.
+//
+//	POST /api/v1/jobs           submit a Spec        → 200 Job (202-like; includes cache hits)
+//	GET  /api/v1/jobs/{id}      job status           → 200 Job | 404
+//	GET  /api/v1/jobs/{id}/result  result bytes      → 200 | 202 still running | 404 | 500 failed
+//	GET  /api/v1/metrics        telemetry snapshot   → 200
+//	GET  /healthz               liveness             → 200 "ok"
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// NewServer returns the HTTP handler serving f.
+func NewServer(f *Farm) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("farm: bad spec: %w", err))
+			return
+		}
+		job, err := f.Submit(&spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusOK, job)
+		}
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookupJob(f, w, r)
+		if ok {
+			writeJSON(w, http.StatusOK, job)
+		}
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookupJob(f, w, r)
+		if !ok {
+			return
+		}
+		switch job.State {
+		case StateDone:
+			out, err := f.Result(job.ID)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(out)
+		case StateFailed, StateQuarantined:
+			writeJSON(w, http.StatusInternalServerError, job)
+		default:
+			writeJSON(w, http.StatusAccepted, job) // not done yet: poll again
+		}
+	})
+	mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := f.MetricsSnapshot()
+		data, err := snap.MarshalIndentJSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// lookupJob parses {id} and fetches its status, writing the error
+// response itself when the job cannot be served.
+func lookupJob(f *Farm, w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("farm: bad job id %q", r.PathValue("id")))
+		return nil, false
+	}
+	job, err := f.Status(id)
+	if errors.Is(err, ErrNotFound) {
+		httpError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return nil, false
+	}
+	return job, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,74 @@
+package harden_test
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"github.com/virec/virec/internal/harden"
+)
+
+// provokePanic is the designated crash site the tests look for by name.
+func provokePanic() {
+	panic("injected fingerprint probe")
+}
+
+func capturePanic(t *testing.T, f func()) (value any, stack []byte) {
+	t.Helper()
+	defer func() {
+		value = recover()
+		stack = debug.Stack()
+	}()
+	f()
+	t.Fatal("f did not panic")
+	return nil, nil
+}
+
+// TestCrashSiteNamesPanickingFunction proves the site extractor skips the
+// recovery and runtime panic frames and lands on the function that
+// actually panicked, with its file and line.
+func TestCrashSiteNamesPanickingFunction(t *testing.T) {
+	_, stack := capturePanic(t, provokePanic)
+	site := harden.CrashSite(stack)
+	if !strings.Contains(site, "provokePanic") {
+		t.Errorf("CrashSite = %q, want the panicking function name\nstack:\n%s", site, stack)
+	}
+	if !strings.Contains(site, "fingerprint_test.go:") {
+		t.Errorf("CrashSite = %q, want file:line of the panic site", site)
+	}
+}
+
+// TestCrashSiteRuntimePanic covers panics raised by the runtime itself
+// (nil dereference): the site must still be the application frame, not
+// runtime.panicmem/sigpanic.
+func TestCrashSiteRuntimePanic(t *testing.T) {
+	var p *int
+	deref := func() int { return *p }
+	_, stack := capturePanic(t, func() { _ = deref() })
+	site := harden.CrashSite(stack)
+	if strings.Contains(site, "runtime.") {
+		t.Errorf("CrashSite = %q, want an application frame, not a runtime helper", site)
+	}
+	if site == "" {
+		t.Error("CrashSite empty for a runtime panic")
+	}
+}
+
+// TestFingerprintStability: the same deterministic crash produces the
+// same fingerprint on every occurrence — the property the farm's circuit
+// breaker relies on — while different panic messages differ.
+func TestFingerprintStability(t *testing.T) {
+	v1, s1 := capturePanic(t, provokePanic)
+	v2, s2 := capturePanic(t, provokePanic)
+	f1, f2 := harden.Fingerprint(v1, s1), harden.Fingerprint(v2, s2)
+	if f1 != f2 {
+		t.Errorf("same crash fingerprinted differently:\n  %q\n  %q", f1, f2)
+	}
+	if !strings.Contains(f1, "injected fingerprint probe") {
+		t.Errorf("fingerprint %q does not carry the panic message", f1)
+	}
+	other := harden.Fingerprint("a different failure", s1)
+	if other == f1 {
+		t.Error("distinct panic values produced identical fingerprints")
+	}
+}

@@ -21,10 +21,30 @@ type CrashError struct {
 	Cycle uint64 // cycle at which the panic fired
 	Dump  string // harden.Dump snapshot taken at recovery
 	Stack []byte // goroutine stack at the panic site
+
+	// Fingerprint is the stable identity of the crash: the scenario
+	// fingerprint (core kind, workload, thread count, seed) plus the
+	// panic message and innermost application frame. A deterministic bug
+	// reproduces the same fingerprint on every retry, which is what lets
+	// retry infrastructure (the simulation farm's circuit breaker)
+	// quarantine it instead of re-running it forever, and what gives a
+	// quarantined job an actionable repro pointer in logs and artifacts.
+	Fingerprint string
 }
 
 func (e *CrashError) Error() string {
-	return fmt.Sprintf("sim: crash at cycle %d: %v\ndiagnostic dump:\n%s", e.Cycle, e.Panic, e.Dump)
+	return fmt.Sprintf("sim: crash at cycle %d: %v\nfingerprint: %s\ndiagnostic dump:\n%s",
+		e.Cycle, e.Panic, e.Fingerprint, e.Dump)
+}
+
+// scenarioFingerprint names the configuration a crash occurred under, in
+// a stable replayable form: kind/workload/tN/seed.
+func (c *Config) scenarioFingerprint() string {
+	name := "?"
+	if c.Workload != nil {
+		name = c.Workload.Name
+	}
+	return fmt.Sprintf("%s/%s/t%d/seed=%#x", c.Kind, name, c.ThreadsPerCore, c.Seed)
 }
 
 // LivelockError reports that the watchdog saw zero committed instructions

@@ -520,12 +520,15 @@ func (s *System) Run() (res *Result, err error) {
 	var cycle uint64
 	defer func() {
 		if r := recover(); r != nil {
+			stack := debug.Stack()
 			res = nil
 			err = &CrashError{
 				Panic: r,
 				Cycle: cycle,
 				Dump:  harden.Dump(s.view()),
-				Stack: debug.Stack(),
+				Stack: stack,
+				Fingerprint: fmt.Sprintf("%s: %s",
+					cfg.scenarioFingerprint(), harden.Fingerprint(r, stack)),
 			}
 		}
 	}()

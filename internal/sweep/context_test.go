@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCtxAlreadyCancelled: a cancelled context runs zero jobs on
+// both the serial and parallel paths and returns the context error.
+func TestForEachCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := New(workers).ForEachCtx(ctx, 50, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d jobs ran under a cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+// TestForEachCtxStopsClaimingPromptly cancels mid-batch and proves the
+// workers abandon the remaining jobs instead of finishing all n: jobs
+// already claimed complete, no job starts after the cancellation is
+// observable, and the call reports the cancellation.
+func TestForEachCtxStopsClaimingPromptly(t *testing.T) {
+	const n = 1000
+	const workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	var once sync.Once
+	err := New(workers).ForEachCtx(ctx, n, func(i int) error {
+		started.Add(1)
+		// Cancel from inside job 0's body: every job claimed after this
+		// point raced with cancellation; far fewer than n may start.
+		once.Do(cancel)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The claim loop re-checks ctx before every claim, so at most the
+	// jobs in flight when cancel fired (≤ workers) plus one claim per
+	// worker already past the check can start. Allow generous slack but
+	// prove the batch was abandoned.
+	if got := started.Load(); got > workers*4 {
+		t.Errorf("%d jobs started after cancellation, batch not abandoned promptly", got)
+	}
+}
+
+// TestForEachCtxSerialStopsBetweenJobs: the serial engine checks the
+// context between jobs, so a cancellation inside job k runs exactly k+1
+// jobs.
+func TestForEachCtxSerialStopsBetweenJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := Serial.ForEachCtx(ctx, 100, func(i int) error {
+		ran++
+		if i == 6 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 7 {
+		t.Errorf("ran %d jobs, want exactly 7 (cancellation observed between jobs)", ran)
+	}
+}
+
+// TestForEachCtxJobErrorBeatsCancellation: when a job fails and the
+// context is also cancelled, the job error wins — callers distinguish
+// "the sweep found a failure" from "the sweep was abandoned".
+func TestForEachCtxJobErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := New(4).ForEachCtx(ctx, 8, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the job error to take precedence", err)
+	}
+}
+
+// TestForEachBackgroundUnchanged: the context-free entry points keep
+// their exact pre-context semantics (nil error, every job runs once).
+func TestForEachBackgroundUnchanged(t *testing.T) {
+	var ran atomic.Int64
+	if err := New(4).ForEach(100, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Errorf("ran = %d, want 100", ran.Load())
+	}
+}

@@ -23,6 +23,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -71,6 +72,18 @@ type panicError struct {
 // engine's workers. It returns the lowest-index error, or nil when every
 // job succeeds. With one worker the calls happen inline and in order.
 func (e Engine) ForEach(n int, fn func(i int) error) error {
+	return e.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no new job
+// starts — workers stop claiming promptly instead of finishing the whole
+// batch — and ctx.Err() is returned (job errors from jobs that did run
+// still take precedence, preserving the lowest-index contract). Jobs
+// already in flight run to completion; fn itself is responsible for
+// observing ctx if it wants to stop mid-job. With context.Background()
+// the behaviour — including every byte of the serial path — is identical
+// to ForEach.
+func (e Engine) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -80,6 +93,9 @@ func (e Engine) ForEach(n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -100,7 +116,7 @@ func (e Engine) ForEach(n int, fn func(i int) error) error {
 		go func(w int) {
 			defer wg.Done()
 			for {
-				if stopped.Load() {
+				if stopped.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -138,7 +154,7 @@ func (e Engine) ForEach(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // runJob invokes fn(i), converting a panic into a captured panicError.
@@ -155,8 +171,13 @@ func runJob(fn func(int) error, i int) (err error, pv *panicError) {
 // and returns the results in item order. On error the partial results are
 // discarded and the lowest-index error is returned.
 func Map[In, Out any](e Engine, items []In, fn func(item In, i int) (Out, error)) ([]Out, error) {
+	return MapCtx(context.Background(), e, items, fn)
+}
+
+// MapCtx is Map with cancellation (see ForEachCtx).
+func MapCtx[In, Out any](ctx context.Context, e Engine, items []In, fn func(item In, i int) (Out, error)) ([]Out, error) {
 	out := make([]Out, len(items))
-	err := e.ForEach(len(items), func(i int) error {
+	err := e.ForEachCtx(ctx, len(items), func(i int) error {
 		v, err := fn(items[i], i)
 		if err != nil {
 			return err
@@ -173,7 +194,15 @@ func Map[In, Out any](e Engine, items []In, fn func(item In, i int) (Out, error)
 // Sims runs one simulation per config and returns the results in config
 // order — the workhorse call behind every experiment sweep.
 func Sims(e Engine, cfgs []sim.Config) ([]*sim.Result, error) {
-	return Map(e, cfgs, func(cfg sim.Config, _ int) (*sim.Result, error) {
+	return SimsCtx(context.Background(), e, cfgs)
+}
+
+// SimsCtx is Sims with cancellation: once ctx is done no new simulation
+// starts (a simulation already ticking runs to completion — individual
+// runs are not interruptible). Farm job deadlines and SIGTERM drains use
+// this to stop a sweep between sims instead of waiting out the batch.
+func SimsCtx(ctx context.Context, e Engine, cfgs []sim.Config) ([]*sim.Result, error) {
+	return MapCtx(ctx, e, cfgs, func(cfg sim.Config, _ int) (*sim.Result, error) {
 		return sim.Simulate(cfg)
 	})
 }
