@@ -43,19 +43,23 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on SIGTERM")
 		codeVersion = flag.String("code-version", farm.CodeVersion, "cache-key code version")
 		noSync      = flag.Bool("no-sync", false, "skip fsync on journal appends (faster, loses power-failure durability)")
+		streamEvery = flag.Duration("stream-every", time.Second, "SSE delta sampling cadence for /api/v1/metrics/stream")
+		heartbeat   = flag.Uint64("heartbeat-every", 1<<16, "cycle cadence of worker sim heartbeats feeding farm metrics (0 disables)")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	f, err := farm.Open(farm.Options{
-		Dir:         *dir,
-		Workers:     *workers,
-		QueueCap:    *queueCap,
-		MaxRetries:  *maxRetries,
-		BackoffBase: *backoff,
-		BackoffMax:  *backoffMax,
-		JobDeadline: *deadline,
-		CodeVersion: *codeVersion,
-		SyncJournal: !*noSync,
+		Dir:            *dir,
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		MaxRetries:     *maxRetries,
+		BackoffBase:    *backoff,
+		BackoffMax:     *backoffMax,
+		JobDeadline:    *deadline,
+		CodeVersion:    *codeVersion,
+		SyncJournal:    !*noSync,
+		HeartbeatEvery: *heartbeat,
 	})
 	if err != nil {
 		fatal(err)
@@ -66,7 +70,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: farm.NewServer(f)}
+	srv := &http.Server{Handler: farm.NewServerWith(f, farm.ServerOptions{
+		StreamInterval: *streamEvery,
+		EnablePprof:    *enablePprof,
+	})}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "virec-farm: serving on %s, data in %s (queue depth %d recovered)\n",

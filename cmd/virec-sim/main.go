@@ -7,7 +7,10 @@
 // trace_event JSON for chrome://tracing / Perfetto, or JSONL for scripted
 // analysis), and -metrics-json exports the unified metrics registry —
 // every counter, gauge and histogram of every simulated structure — as
-// machine-readable JSON.
+// machine-readable JSON. Adding -metrics-every N turns the export into a
+// live recording: one telemetry delta line every N cycles (the stream
+// protocol virec-telemetry-check -deltas validates and the farm's SSE
+// endpoint serves), closed by the final snapshot.
 //
 // Usage:
 //
@@ -64,7 +67,7 @@ func main() {
 		traceBuf = flag.Int("trace-buf", 1<<16, "tracer ring capacity in events (streaming flush batch size)")
 
 		metricsJSON  = flag.String("metrics-json", "", "write the metrics-registry snapshot as JSON to this file ('-' = stdout)")
-		metricsEvery = flag.Uint64("metrics-every", 0, "with -metrics-json: write a compact snapshot line every N cycles (output becomes JSONL)")
+		metricsEvery = flag.Uint64("metrics-every", 0, "with -metrics-json: stream a telemetry delta line every N cycles (output becomes JSONL: deltas, then the final snapshot)")
 	)
 	flag.Parse()
 
@@ -155,8 +158,11 @@ func main() {
 		}
 	}
 
-	// Periodic metrics snapshots stream to the -metrics-json destination as
-	// compact JSON lines; the final snapshot goes there too.
+	// Periodic metrics stream to the -metrics-json destination as delta
+	// JSONL (the telemetry stream protocol: a reset head, then changed
+	// metrics only); the final full snapshot goes there too as the last
+	// line, distinguished by the absence of a "seq" key. The recording is
+	// exactly what virec-telemetry-check -deltas validates.
 	metricsW, metricsClose, err := openOut(*metricsJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "virec-sim:", err)
@@ -168,8 +174,8 @@ func main() {
 			os.Exit(2)
 		}
 		enc := json.NewEncoder(metricsW)
-		cfg.MetricsEvery = *metricsEvery
-		cfg.OnMetrics = func(snap *telemetry.Snapshot) { _ = enc.Encode(snap) }
+		cfg.HeartbeatEvery = *metricsEvery
+		cfg.OnHeartbeat = func(d *telemetry.Delta) { _ = enc.Encode(d) }
 	}
 
 	system, err := sim.New(cfg)

@@ -12,6 +12,14 @@
 //   - -metrics FILE: one or more registry snapshots (a single JSON
 //     document or JSONL). Every histogram must satisfy len(counts) ==
 //     len(bounds)+1 and sum(counts) == count, with ascending bounds.
+//   - -deltas FILE: a JSONL stream of telemetry deltas (what virec-sim
+//     -metrics-every and virec-experiments -metrics-every record, and
+//     what /api/v1/metrics/stream serves). The stream is replayed
+//     through the fold: a head (reset) delta must come first, sequence
+//     numbers must be contiguous, labels unknown to the head are
+//     rejected, counters may not regress, histograms must stay
+//     well-formed. A line without a "seq" key is a pulled snapshot; the
+//     fold at that point must equal it exactly.
 //
 // Any violation prints a diagnostic and exits non-zero. Multiple flags
 // may be combined; each file is validated independently.
@@ -24,6 +32,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"github.com/virec/virec/internal/telemetry"
 )
 
 func main() {
@@ -31,10 +41,11 @@ func main() {
 		chrome  = flag.String("chrome", "", "validate a Chrome trace_event JSON file")
 		jsonl   = flag.String("jsonl", "", "validate a JSONL event trace file")
 		metrics = flag.String("metrics", "", "validate a metrics snapshot file (JSON or JSONL)")
+		deltas  = flag.String("deltas", "", "validate a JSONL delta stream (replay the fold, check snapshot lines)")
 	)
 	flag.Parse()
-	if *chrome == "" && *jsonl == "" && *metrics == "" {
-		fmt.Fprintln(os.Stderr, "virec-telemetry-check: nothing to check; pass -chrome, -jsonl and/or -metrics")
+	if *chrome == "" && *jsonl == "" && *metrics == "" && *deltas == "" {
+		fmt.Fprintln(os.Stderr, "virec-telemetry-check: nothing to check; pass -chrome, -jsonl, -metrics and/or -deltas")
 		os.Exit(2)
 	}
 
@@ -47,6 +58,9 @@ func main() {
 	}
 	if *metrics != "" {
 		ok = report("metrics", *metrics, checkMetrics(*metrics)) && ok
+	}
+	if *deltas != "" {
+		ok = report("deltas", *deltas, checkDeltas(*deltas)) && ok
 	}
 	if !ok {
 		os.Exit(1)
@@ -155,6 +169,70 @@ func checkJSONL(path string) error {
 		return fmt.Errorf("empty trace")
 	}
 	fmt.Printf("  %d events, last cycle %d\n", n, lastCycle)
+	return nil
+}
+
+// checkDeltas replays a recorded delta stream through the fold — the
+// same validator the live SSE consumers use — so a recording that passes
+// here is guaranteed to reconstruct the emitter's final state. Lines
+// without a "seq" key are pulled snapshots interleaved in the recording
+// (virec-sim writes one as its last line); the fold must match each one
+// exactly. Multiple concatenated streams (virec-experiments merges one
+// stream per job) are legal: each later head is a mid-stream reset the
+// fold adopts wholesale.
+func checkDeltas(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var fold telemetry.Fold
+	var line, nDeltas, nSnaps, nHeads int
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var probe struct {
+			Seq *uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if probe.Seq == nil {
+			// A pulled snapshot: the stream so far must fold to it.
+			var s telemetry.Snapshot
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				return fmt.Errorf("line %d: snapshot: %w", line, err)
+			}
+			if eq, why := fold.Equal(&s); !eq {
+				return fmt.Errorf("line %d: fold does not match recorded snapshot: %s", line, why)
+			}
+			nSnaps++
+			continue
+		}
+		var d telemetry.Delta
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			return fmt.Errorf("line %d: delta: %w", line, err)
+		}
+		if err := fold.Apply(&d); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		nDeltas++
+		if d.Reset {
+			nHeads++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if nDeltas == 0 {
+		return fmt.Errorf("no deltas")
+	}
+	fmt.Printf("  %d deltas (%d stream head(s)), %d snapshot check(s), final cycle %d\n",
+		nDeltas, nHeads, nSnaps, fold.Snap.Cycle)
 	return nil
 }
 

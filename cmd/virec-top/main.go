@@ -1,0 +1,270 @@
+// Command virec-top is the fleet dashboard for a virec-farm server: a
+// terminal view of queue depth, worker occupancy, retry and quarantine
+// counts, per-job progress bars and aggregate simulation throughput,
+// refreshed live from the farm's SSE delta stream plus a periodic job
+// listing poll.
+//
+// Usage:
+//
+//	virec-top -farm http://localhost:7741
+//	virec-top -farm http://localhost:7741 -once   # one frame, no TTY control (CI)
+//
+// The live view folds /api/v1/metrics/stream deltas client-side (the
+// same fold virec-telemetry-check -deltas validates) and reconnects with
+// Last-Event-ID on any stream interruption, so a blip in connectivity
+// never corrupts the displayed counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/virec/virec/internal/farm"
+	"github.com/virec/virec/internal/telemetry"
+)
+
+func main() {
+	var (
+		farmURL  = flag.String("farm", "http://localhost:7741", "virec-farm server URL")
+		once     = flag.Bool("once", false, "print a single frame and exit (no screen control)")
+		interval = flag.Duration("interval", time.Second, "refresh cadence for the job listing and redraw")
+		maxJobs  = flag.Int("jobs", 12, "max jobs shown in the table (active first, then most recent)")
+	)
+	flag.Parse()
+
+	client := farm.NewClient(*farmURL)
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+
+	if *once {
+		snap, err := client.Metrics(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		jobs, err := client.Jobs(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(render(*farmURL, snap, jobs, *maxJobs, 0))
+		return
+	}
+
+	// Live mode: one goroutine folds the SSE stream (reconnecting with
+	// the last seen sequence number), the main loop polls the job listing
+	// and redraws. The fold is the single source of truth for counters —
+	// a redraw never blocks on the network for them.
+	var mu sync.Mutex
+	var fold telemetry.Fold
+	lastSeq := int64(-1)
+	go func() {
+		for ctx.Err() == nil {
+			err := client.StreamDeltas(ctx, lastSeq, func(d *telemetry.Delta) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if d.Reset {
+					fold = telemetry.Fold{} // server restarted or re-headed us
+				}
+				if err := fold.Apply(d); err != nil {
+					return err
+				}
+				lastSeq = int64(d.Seq)
+				return nil
+			})
+			if ctx.Err() != nil {
+				return
+			}
+			if err != nil {
+				// Protocol violation or transport error: drop the fold and
+				// take a fresh head on reconnect.
+				mu.Lock()
+				fold = telemetry.Fold{}
+				lastSeq = -1
+				mu.Unlock()
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(*interval):
+			}
+		}
+	}()
+
+	// Cycle throughput is the derivative of the farm/sim_cycles counter
+	// between redraws.
+	//virec:wallclock-ok display-only rate estimation in a dashboard
+	lastDraw := time.Now()
+	var lastCycles uint64
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		jobs, err := client.Jobs(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "virec-top: %v (retrying)\n", err)
+		} else {
+			mu.Lock()
+			snap := fold.Snap
+			mu.Unlock()
+			if snap == nil {
+				if snap, err = client.Metrics(ctx); err != nil {
+					snap = nil
+				}
+			}
+			rate := 0.0
+			if snap != nil {
+				cycles := snap.Counters["farm/sim_cycles"]
+				//virec:wallclock-ok display-only rate estimation in a dashboard
+				now := time.Now()
+				if dt := now.Sub(lastDraw).Seconds(); dt > 0 && cycles >= lastCycles {
+					rate = float64(cycles-lastCycles) / dt
+				}
+				lastCycles, lastDraw = cycles, now
+			}
+			// Home + clear-to-end keeps the frame flicker-free on a TTY.
+			fmt.Print("\x1b[H\x1b[2J" + render(*farmURL, snap, jobs, *maxJobs, rate))
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// render lays out one dashboard frame.
+func render(url string, snap *telemetry.Snapshot, jobs []*farm.Job, maxJobs int, rate float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "virec-top — %s\n\n", url)
+
+	c := func(name string) uint64 {
+		if snap == nil {
+			return 0
+		}
+		return snap.Counters[name]
+	}
+	g := func(name string) float64 {
+		if snap == nil {
+			return 0
+		}
+		return snap.Gauges[name]
+	}
+	fmt.Fprintf(&b, "queue %3.0f   running %3.0f   jobs %4.0f   | submitted %d   completed %d   cache hits %d\n",
+		g("farm/queue_depth"), g("farm/running"), g("farm/jobs_total"),
+		c("farm/submitted"), c("farm/completed"), c("farm/cache_hits"))
+	fmt.Fprintf(&b, "retries %d   failed %d   quarantined %d   rejected %d   deadline abandons %d   worker restarts %d\n",
+		c("farm/retries"), c("farm/failed"), c("farm/quarantined"),
+		c("farm/rejected"), c("farm/deadline_abandons"), c("farm/worker_restarts"))
+	fmt.Fprintf(&b, "throughput: %s sim cycles total, %s cycles/s, %d heartbeats\n\n",
+		group(c("farm/sim_cycles")), group(uint64(rate)), c("farm/heartbeats"))
+
+	// Active jobs first (running, then backoff, then pending), each group
+	// most recent first, terminal jobs last.
+	sort.SliceStable(jobs, func(a, b int) bool {
+		ra, rb := stateRank(jobs[a].State), stateRank(jobs[b].State)
+		if ra != rb {
+			return ra < rb
+		}
+		return jobs[a].ID > jobs[b].ID
+	})
+	shown := jobs
+	if len(shown) > maxJobs {
+		shown = shown[:maxJobs]
+	}
+	fmt.Fprintf(&b, "%-6s %-12s %-34s %-8s %s\n", "JOB", "STATE", "SPEC", "ATTEMPT", "PROGRESS")
+	for _, j := range shown {
+		spec := ""
+		if j.Spec != nil {
+			spec = j.Spec.Summary()
+		}
+		if len(spec) > 34 {
+			spec = spec[:31] + "..."
+		}
+		fmt.Fprintf(&b, "%-6d %-12s %-34s %-8d %s\n", j.ID, j.State, spec, j.Attempts, progressCell(j))
+	}
+	if len(jobs) > len(shown) {
+		fmt.Fprintf(&b, "… %d more\n", len(jobs)-len(shown))
+	}
+	return b.String()
+}
+
+// stateRank orders the job table: live states first.
+func stateRank(s farm.JobState) int {
+	switch s {
+	case farm.StateRunning:
+		return 0
+	case farm.StateBackoff:
+		return 1
+	case farm.StatePending:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// progressCell renders a job's live progress as a bar when the total is
+// known, a raw tick count otherwise, and the terminal outcome for
+// finished jobs.
+func progressCell(j *farm.Job) string {
+	switch j.State {
+	case farm.StateDone:
+		if j.FromCache {
+			return "done (cache)"
+		}
+		return "done"
+	case farm.StateFailed, farm.StateQuarantined:
+		return "✗ " + firstLine(j.Error)
+	}
+	p := j.Progress
+	if p == nil {
+		return "-"
+	}
+	if p.Total > 0 {
+		const width = 20
+		filled := p.Done * width / p.Total
+		if filled > width {
+			filled = width
+		}
+		return fmt.Sprintf("[%s%s] %d/%d %s",
+			strings.Repeat("█", filled), strings.Repeat("·", width-filled),
+			p.Done, p.Total, p.Unit)
+	}
+	if p.Cycle > 0 {
+		return fmt.Sprintf("cycle %s", group(p.Cycle))
+	}
+	return fmt.Sprintf("%d %s", p.Done, p.Unit)
+}
+
+// group renders n with thousands separators (1234567 → "1,234,567").
+func group(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	for i := len(s) - 3; i > 0; i -= 3 {
+		s = s[:i] + "," + s[i:]
+	}
+	return s
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "virec-top:", err)
+	os.Exit(1)
+}

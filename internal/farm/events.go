@@ -1,0 +1,215 @@
+// Job-lifecycle tracing: every journaled state transition doubles as a
+// timestamped event on the job, forming a span history from HTTP
+// admission to terminal state. Events ride inside the Job record, so the
+// checkpoint folds them automatically — a restarted farm serves the same
+// event history the dead process would have (the satellite-6 fix: span
+// records older than the checkpoint horizon survive, because the horizon
+// folds them into the job rather than dropping them).
+//
+// Wall-clock timestamps here are operational metadata only: they flow to
+// the events endpoint and the Chrome trace export, never into result
+// bytes, so the determinism contract is untouched (the byte-identity
+// tests run with tracing always on — it cannot be turned off).
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// JobEvent is one recorded lifecycle transition.
+type JobEvent struct {
+	TS          int64  `json:"ts"` // unix nanoseconds, wall clock
+	Type        string `json:"type"`
+	Attempt     int    `json:"attempt,omitempty"`
+	Err         string `json:"err,omitempty"`
+	Fingerprint string `json:"fp,omitempty"`
+	FromCache   bool   `json:"from_cache,omitempty"`
+	Terminal    bool   `json:"terminal,omitempty"`
+}
+
+// TraceIDFor mints a job's trace identity: deterministic in the job id
+// and its content key, so a resubmission of the same spec under a new id
+// gets a distinct trace while recovery reconstructs the original one
+// byte-for-byte.
+func TraceIDFor(id uint64, key string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d\x00%s", id, key)))
+	return hex.EncodeToString(h[:8])
+}
+
+// eventFromRecord projects a journal record onto its lifecycle event.
+func eventFromRecord(rec *record) JobEvent {
+	return JobEvent{
+		TS:          rec.TS,
+		Type:        rec.Op,
+		Attempt:     rec.Attempt,
+		Err:         rec.Err,
+		Fingerprint: rec.Fingerprint,
+		FromCache:   rec.FromCache,
+		Terminal:    rec.Terminal,
+	}
+}
+
+// appendEvent adds a record's event to the job, skipping exact
+// duplicates: journal replay over a checkpoint that already folded the
+// record must not double-count (records between the checkpoint rename
+// and the journal truncation replay twice by design).
+func (j *Job) appendEvent(rec *record) {
+	ev := eventFromRecord(rec)
+	for i := len(j.Events) - 1; i >= 0; i-- {
+		if j.Events[i] == ev {
+			return
+		}
+		if j.Events[i].TS < ev.TS {
+			break // events are appended in time order; no older duplicate exists
+		}
+	}
+	j.Events = append(j.Events, ev)
+}
+
+// record journals a state transition and mirrors it onto the job's event
+// history. Called with the farm mutex held. The timestamp is operational
+// metadata (see package comment); it is minted here so the journal, the
+// in-memory job and a post-recovery job all carry the same instant.
+func (f *Farm) record(job *Job, rec *record) {
+	//virec:wallclock-ok lifecycle event timestamp, never in result bytes
+	rec.TS = time.Now().UnixNano()
+	job.appendEvent(rec)
+	f.append(rec)
+}
+
+// traceChromeEvents renders a job's lifecycle as Chrome trace_event JSON
+// objects (one string per event, for ChromeWriter.RawEvent or direct
+// concatenation). Spans:
+//
+//	queue-wait   enqueue → first start (or now, while still queued)
+//	attempt N    start → the attempt's outcome (done/fail/quarantine)
+//
+// plus an instant per terminal/fail event carrying the crash fingerprint,
+// which is the link into `virec-sim -repro` and the quarantine record.
+// Timestamps are microseconds relative to the first event, matching the
+// trace-viewer's expectations; pid/tid place lifecycle lanes away from
+// the simulator's per-core pids (pid = farmTracePID, tid = job id).
+func traceChromeEvents(job *Job, nowNS int64) []string {
+	const pid = 999999 // above any plausible core index
+	if len(job.Events) == 0 {
+		return nil
+	}
+	base := job.Events[0].TS
+	us := func(ns int64) int64 {
+		d := ns - base
+		if d < 0 {
+			d = 0
+		}
+		return d / 1000
+	}
+	args := func(extra string) string {
+		s := fmt.Sprintf(`"trace_id":%q,"job":%d`, job.TraceID, job.ID)
+		if extra != "" {
+			s += "," + extra
+		}
+		return s
+	}
+	esc := func(s string) string {
+		b, _ := jsonString(s)
+		return b
+	}
+	var out []string
+	out = append(out, fmt.Sprintf(
+		`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"farm"}}`, pid))
+	out = append(out, fmt.Sprintf(
+		`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"job %d (%s)"}}`,
+		pid, job.ID, job.ID, strings.ReplaceAll(job.Spec.Summary(), `"`, `'`)))
+
+	span := func(name string, startNS, endNS int64, extra string) {
+		dur := us(endNS) - us(startNS)
+		if dur <= 0 {
+			dur = 1
+		}
+		out = append(out, fmt.Sprintf(
+			`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{%s}}`,
+			esc(name), us(startNS), dur, pid, job.ID, args(extra)))
+	}
+	instant := func(name string, ns int64, extra string) {
+		out = append(out, fmt.Sprintf(
+			`{"name":%s,"ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{%s}}`,
+			esc(name), us(ns), pid, job.ID, args(extra)))
+	}
+
+	var queuedAt, startedAt int64
+	attempt := 0
+	for _, ev := range job.Events {
+		switch ev.Type {
+		case "enqueue":
+			queuedAt = ev.TS
+		case "start":
+			if queuedAt != 0 {
+				span("queue-wait", queuedAt, ev.TS, "")
+				queuedAt = 0
+			}
+			startedAt, attempt = ev.TS, ev.Attempt
+		case "done":
+			if startedAt != 0 {
+				span(fmt.Sprintf("attempt %d", attempt), startedAt, ev.TS, `"outcome":"done"`)
+				startedAt = 0
+			}
+			extra := `"outcome":"done"`
+			if ev.FromCache {
+				extra = `"outcome":"done","from_cache":true`
+			}
+			instant("done", ev.TS, extra)
+		case "fail", "quarantine":
+			extra := fmt.Sprintf(`"outcome":%s,"err":%s`, esc(ev.Type), esc(ev.Err))
+			if ev.Fingerprint != "" {
+				extra += fmt.Sprintf(`,"fingerprint":%s`, esc(ev.Fingerprint))
+			}
+			if startedAt != 0 {
+				span(fmt.Sprintf("attempt %d", attempt), startedAt, ev.TS, extra)
+				startedAt = 0
+			}
+			instant(ev.Type, ev.TS, extra)
+			if ev.Type == "fail" && !ev.Terminal {
+				queuedAt = ev.TS // backoff + requeue read as renewed queue wait
+			}
+		}
+	}
+	// Unclosed phases extend to now: the job is still waiting or running.
+	if queuedAt != 0 {
+		span("queue-wait", queuedAt, nowNS, `"open":true`)
+	}
+	if startedAt != 0 {
+		span(fmt.Sprintf("attempt %d", attempt), startedAt, nowNS, `"open":true`)
+	}
+	return out
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) (string, error) {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String(), nil
+}

@@ -69,11 +69,37 @@ type Job struct {
 	Fingerprint string   `json:"fingerprint,omitempty"` // last crash fingerprint
 	ResultHash  string   `json:"result_hash,omitempty"` // sha256 of result bytes
 	FromCache   bool     `json:"from_cache,omitempty"`  // completed without executing
+
+	// TraceID is the job's trace identity, minted at submission
+	// (TraceIDFor) and stamped on every lifecycle span and correlated
+	// simulator cycle event.
+	TraceID string `json:"trace_id,omitempty"`
+	// Events is the job's lifecycle history (see events.go). Folded into
+	// the checkpoint with the job, so it survives restarts intact.
+	Events []JobEvent `json:"events,omitempty"`
+
+	// Progress is live execution progress, updated by the exec observer
+	// outside the journal (it is ephemeral: not persisted, reset by a
+	// restart). Mutate only under the farm mutex.
+	Progress *Progress `json:"progress,omitempty"`
+}
+
+// Progress is a job's in-flight completion estimate.
+type Progress struct {
+	Done  int    `json:"done"`            // units completed
+	Total int    `json:"total,omitempty"` // units expected (0 = unknown)
+	Unit  string `json:"unit"`            // "scenarios", "sims", "cycles"
+	Cycle uint64 `json:"cycle,omitempty"` // latest simulated cycle (sim jobs)
 }
 
 // clone returns a snapshot safe to use outside the farm mutex.
 func (j *Job) clone() *Job {
 	c := *j
+	c.Events = append([]JobEvent(nil), j.Events...)
+	if j.Progress != nil {
+		p := *j.Progress
+		c.Progress = &p
+	}
 	return &c
 }
 
@@ -91,6 +117,8 @@ type Stats struct {
 	Quarantined uint64 // jobs circuit-broken on a repeated fingerprint
 	Deadlines   uint64 // attempts abandoned at the per-job deadline
 	Restarts    uint64 // worker goroutines restarted after a panic escape
+	Heartbeats  uint64 // telemetry deltas received from running sims
+	SimCycles   uint64 // aggregate simulated cycles observed via heartbeats
 }
 
 // Options configures a Farm.
@@ -126,6 +154,13 @@ type Options struct {
 	// JitterSeed seeds the backoff jitter stream. Zero selects a fixed
 	// default — all farm randomness is explicitly seeded.
 	JitterSeed uint64
+
+	// HeartbeatEvery is the cycle cadence at which worker simulations
+	// stream telemetry deltas back to the farm (live progress, aggregate
+	// throughput counters). 0 disables heartbeats; coarse progress from
+	// difftest/experiment jobs is reported either way. Heartbeats are
+	// side-channel only and cannot alter result bytes.
+	HeartbeatEvery uint64
 
 	// CodeVersion replaces the package CodeVersion in cache keys.
 	CodeVersion string
@@ -317,7 +352,7 @@ func (f *Farm) claim() *Job {
 			job.State = StateRunning
 			job.Attempts++
 			f.running++
-			f.append(&record{Op: "start", ID: id, Attempt: job.Attempts})
+			f.record(job, &record{Op: "start", ID: id, Attempt: job.Attempts})
 			return job
 		}
 		f.cond.Wait()
@@ -339,6 +374,7 @@ func (f *Farm) runJob(job *Job) {
 		return
 	}
 	defer f.cond.Broadcast() // wake Drain/WaitJob watchers
+	job.Progress = nil       // the attempt is over; live progress is stale
 
 	if err == nil {
 		sum := sha256.Sum256(out)
@@ -351,7 +387,7 @@ func (f *Farm) runJob(job *Job) {
 			job.ResultHash = hex.EncodeToString(sum[:])
 			job.Error = ""
 			f.stats.Completed++
-			f.append(&record{Op: "done", ID: job.ID, ResultHash: job.ResultHash})
+			f.record(job, &record{Op: "done", ID: job.ID, ResultHash: job.ResultHash})
 			return
 		}
 	}
@@ -369,7 +405,7 @@ func (f *Farm) runJob(job *Job) {
 		job.State = StateQuarantined
 		job.Error = msg
 		f.stats.Quarantined++
-		f.append(&record{Op: "quarantine", ID: job.ID, Err: msg, Fingerprint: fp})
+		f.record(job, &record{Op: "quarantine", ID: job.ID, Err: msg, Fingerprint: fp})
 		return
 	}
 	job.Error = msg
@@ -378,14 +414,14 @@ func (f *Farm) runJob(job *Job) {
 	if job.Attempts > f.opt.MaxRetries {
 		job.State = StateFailed
 		f.stats.Failed++
-		f.append(&record{Op: "fail", ID: job.ID, Attempt: job.Attempts,
+		f.record(job, &record{Op: "fail", ID: job.ID, Attempt: job.Attempts,
 			Err: msg, Fingerprint: fp, Terminal: true})
 		return
 	}
 
 	job.State = StateBackoff
 	f.stats.Retries++
-	f.append(&record{Op: "fail", ID: job.ID, Attempt: job.Attempts,
+	f.record(job, &record{Op: "fail", ID: job.ID, Attempt: job.Attempts,
 		Err: msg, Fingerprint: fp})
 	delay := f.backoff(job.Attempts)
 	id := job.ID
@@ -452,7 +488,7 @@ func (f *Farm) execute(job *Job) ([]byte, error) {
 				ch <- outcome{nil, &workerPanicError{value: r, stack: debug.Stack()}}
 			}
 		}()
-		next := func() ([]byte, error) { return Execute(ctx, snap.Spec) }
+		next := func() ([]byte, error) { return ExecuteObserved(ctx, snap.Spec, f.execObserver(snap.ID)) }
 		if f.opt.ExecWrap != nil {
 			out, err := f.opt.ExecWrap(snap, snap.Attempts, next)
 			ch <- outcome{out, err}
@@ -471,6 +507,43 @@ func (f *Farm) execute(job *Job) ([]byte, error) {
 	case <-f.stopCh:
 		return nil, fmt.Errorf("farm: job %d attempt %d abandoned: farm stopping", snap.ID, snap.Attempts)
 	}
+}
+
+// execObserver builds the side-channel observer for one execution
+// attempt: heartbeat deltas feed the aggregate throughput counters, and
+// progress ticks update the live job's Progress. All updates happen
+// under the farm mutex and touch only observability state — never
+// anything that reaches result bytes.
+func (f *Farm) execObserver(id uint64) *ExecObserver {
+	obs := &ExecObserver{
+		OnProgress: func(p Progress) {
+			f.mu.Lock()
+			if job := f.jobs[id]; job != nil && job.State == StateRunning {
+				job.Progress = &p
+			}
+			f.mu.Unlock()
+		},
+	}
+	if f.opt.HeartbeatEvery > 0 {
+		// lastCycle is per-attempt: experiment jobs stream many sims back
+		// to back, each restarting at a Reset head, and only forward
+		// cycle motion counts toward the aggregate.
+		var lastCycle uint64
+		obs.HeartbeatEvery = f.opt.HeartbeatEvery
+		obs.OnHeartbeat = func(d *telemetry.Delta) {
+			f.mu.Lock()
+			f.stats.Heartbeats++
+			if d.Reset {
+				lastCycle = 0
+			}
+			if d.Cycle > lastCycle {
+				f.stats.SimCycles += d.Cycle - lastCycle
+				lastCycle = d.Cycle
+			}
+			f.mu.Unlock()
+		}
+	}
+	return obs
 }
 
 // workerPanicError wraps a panic that escaped the executor (as opposed
@@ -600,13 +673,14 @@ func (f *Farm) Submit(spec *Spec) (*Job, error) {
 			State:      StateDone,
 			ResultHash: hex.EncodeToString(sum[:]),
 			FromCache:  true,
+			TraceID:    TraceIDFor(id, key),
 		}
 		f.jobs[id] = job
 		f.byKey[key] = id
 		f.stats.Submitted++
 		f.stats.CacheHits++
-		f.append(&record{Op: "enqueue", ID: id, Spec: spec, Key: key})
-		f.append(&record{Op: "done", ID: id, ResultHash: job.ResultHash, FromCache: true})
+		f.record(job, &record{Op: "enqueue", ID: id, Spec: spec, Key: key, TraceID: job.TraceID})
+		f.record(job, &record{Op: "done", ID: id, ResultHash: job.ResultHash, FromCache: true})
 		return job.clone(), nil
 	}
 
@@ -617,12 +691,12 @@ func (f *Farm) Submit(spec *Spec) (*Job, error) {
 
 	id := f.nextID
 	f.nextID++
-	job := &Job{ID: id, Spec: spec, Key: key, State: StatePending}
+	job := &Job{ID: id, Spec: spec, Key: key, State: StatePending, TraceID: TraceIDFor(id, key)}
 	f.jobs[id] = job
 	f.byKey[key] = id
 	f.stats.Submitted++
 	f.stats.CacheMisses++
-	f.append(&record{Op: "enqueue", ID: id, Spec: spec, Key: key})
+	f.record(job, &record{Op: "enqueue", ID: id, Spec: spec, Key: key, TraceID: job.TraceID})
 	f.ready = append(f.ready, id)
 	f.cond.Signal()
 	return job.clone(), nil
@@ -783,6 +857,8 @@ func (f *Farm) registerMetrics(r *telemetry.Registry, prefix string) {
 	r.Counter(prefix+"/quarantined", &f.stats.Quarantined)
 	r.Counter(prefix+"/deadline_abandons", &f.stats.Deadlines)
 	r.Counter(prefix+"/worker_restarts", &f.stats.Restarts)
+	r.Counter(prefix+"/heartbeats", &f.stats.Heartbeats)
+	r.Counter(prefix+"/sim_cycles", &f.stats.SimCycles)
 	r.Gauge(prefix+"/queue_depth", func() float64 { return float64(f.liveLocked()) })
 	r.Gauge(prefix+"/running", func() float64 { return float64(f.running) })
 	r.Gauge(prefix+"/jobs_total", func() float64 { return float64(len(f.jobs)) })

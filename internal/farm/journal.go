@@ -36,6 +36,8 @@ import (
 type record struct {
 	Op          string `json:"op"` // enqueue|start|done|fail|quarantine
 	ID          uint64 `json:"id"`
+	TS          int64  `json:"ts,omitempty"`          // unix ns, lifecycle event timestamp
+	TraceID     string `json:"trace_id,omitempty"`    // enqueue: minted trace identity
 	Spec        *Spec  `json:"spec,omitempty"`        // enqueue
 	Key         string `json:"key,omitempty"`         // enqueue: cache key
 	Attempt     int    `json:"attempt,omitempty"`     // start/fail
@@ -220,15 +222,31 @@ func recoverState(dir string) (map[uint64]*Job, uint64, error) {
 
 // applyRecord folds one journal record into the job table. Records set
 // state rather than increment it, so replaying a record whose effect is
-// already in the checkpoint is harmless.
+// already in the checkpoint is harmless; the event history dedups on
+// exact (timestamp, type, attempt) matches for the same reason (records
+// between a checkpoint rename and the journal truncation replay twice).
 func applyRecord(jobs map[uint64]*Job, rec *record) {
 	switch rec.Op {
 	case "enqueue":
+		// An enqueue replayed over a checkpointed job must not erase the
+		// job's accumulated event history (the pre-fix bug: jobs/{id}/events
+		// went silent after a restart whose checkpoint horizon had passed
+		// the enqueue record). Rebuild state but keep existing events.
+		var events []JobEvent
+		if prev := jobs[rec.ID]; prev != nil {
+			events = prev.Events
+		}
+		traceID := rec.TraceID
+		if traceID == "" {
+			traceID = TraceIDFor(rec.ID, rec.Key) // pre-tracing journals
+		}
 		jobs[rec.ID] = &Job{
-			ID:    rec.ID,
-			Spec:  rec.Spec,
-			Key:   rec.Key,
-			State: StatePending,
+			ID:      rec.ID,
+			Spec:    rec.Spec,
+			Key:     rec.Key,
+			State:   StatePending,
+			TraceID: traceID,
+			Events:  events,
 		}
 	case "start":
 		if job := jobs[rec.ID]; job != nil {
@@ -259,5 +277,8 @@ func applyRecord(jobs map[uint64]*Job, rec *record) {
 			job.Error = rec.Err
 			job.Fingerprint = rec.Fingerprint
 		}
+	}
+	if job := jobs[rec.ID]; job != nil && rec.TS != 0 {
+		job.appendEvent(rec)
 	}
 }

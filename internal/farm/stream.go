@@ -1,0 +1,175 @@
+// Live metrics streaming: a hub that periodically samples the farm's
+// telemetry registry, encodes the changes as sequence-numbered deltas
+// (internal/telemetry's stream protocol), and fans them out to SSE
+// subscribers with bounded replay for reconnection.
+//
+// Resumption contract: every SSE event carries `id: <seq>`. A client
+// reconnecting with Last-Event-ID resumes exactly after that sequence
+// number when the hub's replay ring still holds the gap; a stale cursor
+// (or none) gets a synthesized personal head — a full Reset restatement
+// at the current sequence — so the client's fold is correct either way,
+// with no gaps and no duplicates. virec-telemetry-check -deltas validates
+// recorded streams against exactly these rules.
+package farm
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"github.com/virec/virec/internal/telemetry"
+)
+
+// hubEvent is one broadcast delta, pre-encoded.
+type hubEvent struct {
+	seq  uint64
+	data []byte // canonical JSON of the telemetry.Delta
+}
+
+// metricsHub samples a farm's registry and broadcasts deltas.
+type metricsHub struct {
+	f *Farm
+
+	mu      sync.Mutex
+	prev    *telemetry.Snapshot
+	nextSeq uint64
+	ticks   uint64     // sample counter, doubles as the delta Cycle stamp
+	ring    []hubEvent // last ringCap events for reconnect replay
+	subs    map[chan hubEvent]struct{}
+	stopped bool
+}
+
+const (
+	hubRingCap = 256 // replay horizon, in events
+	hubSubBuf  = 64  // per-subscriber buffer before it is declared stalled
+)
+
+// newMetricsHub starts the sampling loop at the given interval (default
+// 1s). The loop exits when the farm stops.
+func newMetricsHub(f *Farm, interval time.Duration) *metricsHub {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	h := &metricsHub{f: f, subs: make(map[chan hubEvent]struct{})}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stopCh:
+				h.mu.Lock()
+				h.stopped = true
+				for ch := range h.subs {
+					close(ch)
+				}
+				h.subs = make(map[chan hubEvent]struct{})
+				h.mu.Unlock()
+				return
+			case <-t.C:
+				h.tick()
+			}
+		}
+	}()
+	return h
+}
+
+// tick samples the registry and broadcasts the change, if any.
+func (h *metricsHub) tick() {
+	snap := h.f.MetricsSnapshot() // farm mutex, not hub mutex
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stopped {
+		return
+	}
+	h.ticks++
+	snap.Cycle = h.ticks
+	d := telemetry.DeltaFrom(h.prev, snap, h.nextSeq)
+	h.prev = snap
+	if d.Empty() {
+		return // nothing changed; the sequence number is not consumed
+	}
+	h.broadcastLocked(d)
+}
+
+// broadcastLocked encodes d (stamped with the next sequence number),
+// appends it to the replay ring and fans it out. A subscriber whose
+// buffer is full is dropped — its client reconnects and resumes via
+// Last-Event-ID, which is cheaper and simpler than blocking the hub.
+func (h *metricsHub) broadcastLocked(d *telemetry.Delta) {
+	d.Seq = h.nextSeq
+	data, err := json.Marshal(d)
+	if err != nil {
+		return
+	}
+	ev := hubEvent{seq: h.nextSeq, data: data}
+	h.nextSeq++
+	h.ring = append(h.ring, ev)
+	if len(h.ring) > hubRingCap {
+		h.ring = h.ring[len(h.ring)-hubRingCap:]
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			close(ch)
+			delete(h.subs, ch)
+		}
+	}
+}
+
+// subscribe registers a consumer. lastSeen < 0 means a fresh client.
+// The returned backlog must be delivered before reading ch: it is either
+// the contiguous ring replay after lastSeen, or a synthesized personal
+// head (full snapshot, Reset) when the cursor is stale or absent.
+// unsubscribe must be called exactly once; ch is closed by the hub on
+// overflow or shutdown.
+func (h *metricsHub) subscribe(lastSeen int64) (ch chan hubEvent, backlog []hubEvent, unsubscribe func()) {
+	// Sample outside the hub lock so the backlog reflects now, not the
+	// last ticker firing (it also makes tests independent of timing).
+	snap := h.f.MetricsSnapshot()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch = make(chan hubEvent, hubSubBuf)
+	if h.stopped {
+		close(ch)
+		return ch, nil, func() {}
+	}
+
+	if lastSeen >= 0 && uint64(lastSeen) < h.nextSeq &&
+		len(h.ring) > 0 && h.ring[0].seq <= uint64(lastSeen)+1 {
+		// Contiguous resume from the ring: everything after lastSeen. The
+		// cursor must point inside the broadcast history — a cursor at or
+		// beyond nextSeq (a client of a previous farm generation, or a
+		// corrupted id) is as stale as one behind the ring.
+		for _, ev := range h.ring {
+			if ev.seq > uint64(lastSeen) {
+				backlog = append(backlog, ev)
+			}
+		}
+	} else {
+		// Fresh client or stale cursor: synthesize a full-snapshot head at
+		// the current cursor. It is broadcast (and ring-buffered), not
+		// private: the head consumes a sequence number, so every open
+		// stream must see it or the next delta would read as a gap. A
+		// mid-stream Reset is protocol-valid — existing folds adopt it
+		// wholesale and continue.
+		h.ticks++
+		snap.Cycle = h.ticks
+		head := telemetry.DeltaFrom(nil, snap, h.nextSeq)
+		h.prev = snap
+		h.broadcastLocked(head)
+		if len(h.ring) > 0 {
+			backlog = append(backlog, h.ring[len(h.ring)-1])
+		}
+	}
+	h.subs[ch] = struct{}{}
+	return ch, backlog, func() {
+		h.mu.Lock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+		h.mu.Unlock()
+	}
+}

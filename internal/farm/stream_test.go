@@ -1,0 +1,303 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/virec/virec/internal/telemetry"
+)
+
+// streamServer wires a farm with a fast-sampling hub behind httptest.
+func streamServer(t *testing.T, opt Options) (*Farm, *Client) {
+	t.Helper()
+	f := openFarm(t, opt)
+	srv := httptest.NewServer(NewServerWith(f, ServerOptions{StreamInterval: 2 * time.Millisecond}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	c.PollInterval = 2 * time.Millisecond
+	c.SubmitBackoff = 2 * time.Millisecond
+	return f, c
+}
+
+// TestSSEStreamFoldsToPullSnapshot: consume the live stream while jobs
+// run; the folded stream must validate under the protocol rules and its
+// counters must agree with a pull snapshot taken after quiescence.
+func TestSSEStreamFoldsToPullSnapshot(t *testing.T) {
+	f, client := streamServer(t, testOptions(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var fold telemetry.Fold
+	deltas := 0
+	headSeen := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- client.StreamDeltas(ctx, -1, func(d *telemetry.Delta) error {
+			if deltas == 0 {
+				close(headSeen)
+			}
+			deltas++
+			return fold.Apply(d)
+		})
+	}()
+	// Only submit once the subscriber holds its head, so the job churn
+	// below is guaranteed to arrive as follow-up deltas.
+	select {
+	case <-headSeen:
+	case err := <-errCh:
+		t.Fatalf("stream ended before its head: %v", err)
+	}
+
+	for seed := uint64(0xf0); seed < 0xf3; seed++ {
+		job, err := f.Submit(testSpec(seed))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitDone(t, f, job.ID)
+	}
+	// Let the hub observe the final state, then stop consuming.
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	if err := <-errCh; err != nil && ctx.Err() == nil {
+		t.Fatalf("StreamDeltas: %v", err)
+	}
+	if deltas < 2 {
+		t.Fatalf("stream produced %d deltas, want at least a head and one change", deltas)
+	}
+	if fold.Snap == nil {
+		t.Fatal("fold is empty")
+	}
+	if got := fold.Snap.Counters["farm/completed"]; got != 3 {
+		t.Fatalf("folded farm/completed = %d, want 3", got)
+	}
+	snap := f.MetricsSnapshot()
+	if fold.Snap.Counters["farm/submitted"] != snap.Counters["farm/submitted"] {
+		t.Fatalf("folded submitted %d != pulled %d",
+			fold.Snap.Counters["farm/submitted"], snap.Counters["farm/submitted"])
+	}
+}
+
+// TestSSEReconnectResumes is the satellite reconnect test: disconnect
+// mid-stream, reconnect with the last-seen sequence number, and require
+// the merged client view to have no gaps and no duplicates (the Fold
+// enforces contiguity; a duplicate would be a seq regression error).
+func TestSSEReconnectResumes(t *testing.T) {
+	f, client := streamServer(t, testOptions(t))
+
+	var fold telemetry.Fold
+	lastSeq := int64(-1)
+	consume := func(ctx context.Context, stopAfter int) error {
+		n := 0
+		streamCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		return ignoreCanceled(streamCtx, client.StreamDeltas(streamCtx, lastSeq, func(d *telemetry.Delta) error {
+			if err := fold.Apply(d); err != nil {
+				return err
+			}
+			lastSeq = int64(d.Seq)
+			if n++; stopAfter > 0 && n >= stopAfter {
+				cancel() // simulate the connection dropping
+			}
+			return nil
+		}))
+	}
+
+	job, err := f.Submit(testSpec(0xf8))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// First connection: take the head (and whatever follows), then drop.
+	if err := consume(context.Background(), 1); err != nil {
+		t.Fatalf("first connection: %v", err)
+	}
+	waitDone(t, f, job.ID)
+	time.Sleep(20 * time.Millisecond) // let broadcasts advance past lastSeq
+
+	// Second connection resumes from lastSeq. Any gap or duplicate would
+	// surface as a Fold error (sequence gap / counter regression).
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := consume(ctx, 0); err != nil {
+		t.Fatalf("resumed connection: %v", err)
+	}
+	if fold.Snap == nil || fold.Snap.Counters["farm/completed"] != 1 {
+		t.Fatalf("resumed fold incomplete: %+v", fold.Snap)
+	}
+}
+
+func ignoreCanceled(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// TestSSEStaleCursorGetsReset: reconnecting with a sequence far behind
+// the replay ring must yield a fresh Reset head, not an error or a gap.
+func TestSSEStaleCursorGetsReset(t *testing.T) {
+	f, client := streamServer(t, testOptions(t))
+	job, err := f.Submit(testSpec(0xf9))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, f, job.ID)
+
+	// The hub has never broadcast seq 0 relative to this cursor's claim
+	// of 10_000; the ring cannot bridge it.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	var first *telemetry.Delta
+	err = client.StreamDeltas(ctx, 10_000, func(d *telemetry.Delta) error {
+		first = d
+		cancel()
+		return nil
+	})
+	if err := ignoreCanceled(ctx, err); err != nil {
+		t.Fatalf("StreamDeltas: %v", err)
+	}
+	if first == nil || !first.Reset {
+		t.Fatalf("stale cursor got %+v, want a Reset head", first)
+	}
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	f, client := streamServer(t, testOptions(t))
+	job, err := f.Submit(testSpec(0xfa))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, f, job.ID)
+
+	resp, err := http.Get(client.Base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("content-type = %q", resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"# TYPE virec_farm_submitted counter",
+		"virec_farm_submitted 1",
+		"virec_farm_completed 1",
+		"# TYPE virec_farm_queue_depth gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestJobTraceEndpointCorrelated is the acceptance criterion: one trace
+// export holds both farm lifecycle spans and simulator cycle events,
+// every one stamped with the same trace id.
+func TestJobTraceEndpointCorrelated(t *testing.T) {
+	f, client := streamServer(t, testOptions(t))
+	job, err := f.Submit(testSpec(0xfb))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitDone(t, f, job.ID)
+
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%d/trace?sim=1", client.Base, job.ID))
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var evs []map[string]any
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v\n%.2000s", err, body)
+	}
+
+	lifecycle, cycles := 0, 0
+	for _, e := range evs {
+		args, _ := e["args"].(map[string]any)
+		if args == nil {
+			continue // lane metadata
+		}
+		tid, ok := args["trace_id"].(string)
+		if !ok {
+			continue
+		}
+		if tid != done.TraceID {
+			t.Fatalf("event %v has trace id %q, want %q", e["name"], tid, done.TraceID)
+		}
+		switch e["name"] {
+		case "queue-wait", "attempt 1", "done":
+			lifecycle++
+		default:
+			cycles++ // simulator instants/spans (switch, run, rf events…)
+		}
+	}
+	if lifecycle < 3 {
+		t.Fatalf("only %d correlated lifecycle events", lifecycle)
+	}
+	if cycles == 0 {
+		t.Fatal("no correlated simulator cycle events in the export")
+	}
+}
+
+func TestJobsListAndEventsEndpoints(t *testing.T) {
+	f, client := streamServer(t, testOptions(t))
+	ctx := context.Background()
+	for seed := uint64(0xfc); seed < 0xfe; seed++ {
+		job, err := f.Submit(testSpec(seed))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitDone(t, f, job.ID)
+	}
+	jobs, err := client.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(jobs) != 2 || jobs[0].ID >= jobs[1].ID {
+		t.Fatalf("jobs list = %d entries, want 2 sorted by id", len(jobs))
+	}
+	traceID, events, err := client.JobEvents(ctx, jobs[0].ID)
+	if err != nil {
+		t.Fatalf("JobEvents: %v", err)
+	}
+	if traceID != jobs[0].TraceID || len(events) != 3 {
+		t.Fatalf("events endpoint: trace %q, %d events; want %q and 3",
+			traceID, len(events), jobs[0].TraceID)
+	}
+}
+
+func TestPprofGatedByOption(t *testing.T) {
+	f := openFarm(t, testOptions(t))
+	off := httptest.NewServer(NewServer(f))
+	t.Cleanup(off.Close)
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without EnablePprof")
+	}
+
+	on := httptest.NewServer(NewServerWith(f, ServerOptions{EnablePprof: true}))
+	t.Cleanup(on.Close)
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with EnablePprof: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -28,7 +28,12 @@ import (
 //     is exempt, as the designated owner of seed plumbing.
 //
 // A `//virec:nondet-ok` directive on (or above) a range statement
-// suppresses rule 1 for that loop.
+// suppresses rule 1 for that loop. A `//virec:wallclock-ok` directive on
+// (or above) a clock call suppresses rule 2's time checks for code that
+// legitimately observes wall-clock time without feeding it into
+// simulation state — operational timestamps on farm lifecycle events,
+// throughput rates on a live dashboard. The directive is a claim the
+// reviewer can grep for: the timestamp never reaches result bytes.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "flags unordered map iteration with order-sensitive effects and ambient time/rand entropy",
@@ -46,7 +51,7 @@ func runDeterminism(pass *Pass) {
 					checkMapRange(pass, pkg, dirs, file, n)
 				case *ast.SelectorExpr:
 					if !exemptEntropy {
-						checkEntropy(pass, pkg, n)
+						checkEntropy(pass, pkg, dirs, n)
 					}
 				}
 				return true
@@ -64,7 +69,7 @@ var entropyAllowed = map[string]bool{
 
 // checkEntropy flags references to time.Now-style clocks and top-level
 // math/rand functions.
-func checkEntropy(pass *Pass, pkg *Package, sel *ast.SelectorExpr) {
+func checkEntropy(pass *Pass, pkg *Package, dirs *directives, sel *ast.SelectorExpr) {
 	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
 	if !ok || obj.Pkg() == nil {
 		return
@@ -76,6 +81,9 @@ func checkEntropy(pass *Pass, pkg *Package, sel *ast.SelectorExpr) {
 	case "time":
 		switch obj.Name() {
 		case "Now", "Since", "Until":
+			if dirs.has(sel.Pos(), "wallclock-ok") {
+				return
+			}
 			pass.Report(sel.Pos(), "call to time.%s: simulation state must not depend on wall-clock time", obj.Name())
 		}
 	case "math/rand", "math/rand/v2":

@@ -106,6 +106,13 @@ func wallClock() int64 {
 	return time.Now().Unix() // want "wall-clock"
 }
 
+// wallClockSuppressed carries the wallclock-ok directive: operational
+// timestamps that never reach simulation state are allowed.
+func wallClockSuppressed() int64 {
+	//virec:wallclock-ok lifecycle event timestamp, never in result bytes
+	return time.Now().Unix()
+}
+
 // globalRand consumes the globally seeded source.
 func globalRand() int {
 	return rand.Int() // want "explicitly seeded"

@@ -136,6 +136,20 @@ type Config struct {
 	// OnMetrics receives the periodic snapshots.
 	OnMetrics func(*telemetry.Snapshot)
 
+	// HeartbeatEvery, when > 0 together with OnHeartbeat, streams an
+	// incremental telemetry.Delta every that many cycles: only the
+	// metrics that changed since the previous heartbeat, sequence-
+	// numbered from 0 with a Reset head. Run always emits one final
+	// delta computed from the same snapshot returned in Result.Metrics,
+	// so folding the stream reproduces the final pull snapshot exactly.
+	// Observers are side-channel only: they must not influence the run
+	// (the determinism tests attach them and pin byte-identity). The
+	// disabled path costs one branch per cycle and zero allocations.
+	HeartbeatEvery uint64
+	// OnHeartbeat receives the periodic deltas. The delta is owned by
+	// the callee; the simulator never mutates it after delivery.
+	OnHeartbeat func(*telemetry.Delta)
+
 	// WrapProvider, when set, may replace each core's register provider
 	// with the value it returns (a nil return keeps the original). The
 	// differential-test harness uses it to interpose deliberately buggy
@@ -536,6 +550,8 @@ func (s *System) Run() (res *Result, err error) {
 	wd := harden.Watchdog{Window: cfg.Harden.WatchdogWindow}
 	lastInsts := make([]uint64, len(s.Cores))
 	lastCommit := make([]uint64, len(s.Cores))
+	var hbPrev *telemetry.Snapshot
+	var hbSeq uint64
 	for ; cycle < cfg.MaxCycles; cycle++ {
 		done := true
 		for _, c := range s.Cores {
@@ -592,6 +608,12 @@ func (s *System) Run() (res *Result, err error) {
 			snap.Cycle = cycle + 1
 			cfg.OnMetrics(snap)
 		}
+		if k := cfg.HeartbeatEvery; k > 0 && cfg.OnHeartbeat != nil && cycle%k == k-1 {
+			var d *telemetry.Delta
+			d, hbPrev = s.Registry.DeltaSince(hbPrev, hbSeq, cycle+1)
+			hbSeq++
+			cfg.OnHeartbeat(d)
+		}
 	}
 	if cycle >= cfg.MaxCycles {
 		return nil, s.maxCyclesError(lastInsts, lastCommit)
@@ -635,6 +657,11 @@ func (s *System) Run() (res *Result, err error) {
 	s.Tracer.Flush()
 	res.Metrics = s.Registry.Snapshot()
 	res.Metrics.Cycle = res.Cycles
+	if cfg.HeartbeatEvery > 0 && cfg.OnHeartbeat != nil {
+		// Final heartbeat from the very snapshot the caller receives:
+		// fold(stream) == Result.Metrics is exact, not approximate.
+		cfg.OnHeartbeat(telemetry.DeltaFrom(hbPrev, res.Metrics, hbSeq))
+	}
 	return res, nil
 }
 

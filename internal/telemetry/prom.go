@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4), so any off-the-shelf scraper can collect the
+// simulator's unified namespace without speaking its JSON.
+//
+// Label mapping: the registry's slash-separated names ("dcache0/hits")
+// become metric names with the structure instance as a label
+// (virec_dcache_hits{instance="dcache0"}) when the first segment ends in
+// a digit, and plain flattened names (virec_farm_cache_hits) otherwise.
+// Histograms expand into the standard _bucket/_sum/_count family with
+// cumulative le bounds. Output is in sorted-name order — identical
+// snapshots render identical bytes.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriter(w)
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		metric, labels := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", metric)
+		fmt.Fprintf(bw, "%s%s %d\n", metric, labels, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		metric, labels := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", metric)
+		fmt.Fprintf(bw, "%s%s %s\n", metric, labels,
+			strconv.FormatFloat(s.Gauges[name], 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		metric, labels := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", metric)
+		inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+		if inner != "" {
+			inner += ","
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = strconv.FormatUint(h.Bounds[i], 10)
+			}
+			fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n", metric, inner, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %d\n", metric, labels, h.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", metric, labels, h.Count)
+	}
+	if !ok {
+		return bw.Flush()
+	}
+	return nil
+}
+
+// promName splits a registry label into a Prometheus metric name and an
+// optional {instance="..."} label set. "dcache0/hits" (numbered structure
+// instance) becomes ("virec_dcache_hits", `{instance="dcache0"}`);
+// "farm/cache_hits" becomes ("virec_farm_cache_hits", "").
+func promName(name string) (metric, labels string) {
+	parts := strings.Split(name, "/")
+	if len(parts) > 1 {
+		first := parts[0]
+		base := strings.TrimRight(first, "0123456789")
+		if base != first && base != "" {
+			rest := append([]string{base}, parts[1:]...)
+			return "virec_" + sanitizeProm(strings.Join(rest, "_")),
+				`{instance="` + first + `"}`
+		}
+	}
+	return "virec_" + sanitizeProm(strings.Join(parts, "_")), ""
+}
+
+// sanitizeProm maps arbitrary label characters into the Prometheus
+// metric-name alphabet [a-zA-Z0-9_].
+func sanitizeProm(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
