@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the hint golden file")
+
+// TestHintsGolden pins the synthesized hint annotation for every shipped
+// kernel. The hint byte feeds replacement policy decisions, so any change
+// to the synthesizer shows up here as a reviewable diff instead of a
+// silent shift in simulated performance. Regenerate with:
+//
+//	go test ./cmd/virec-asm -run TestHintsGolden -update
+func TestHintsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	hintsWorkloads(&buf)
+
+	golden := filepath.Join("testdata", "hints.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("hint annotations drifted from %s (run with -update if intended)\ngot:\n%s",
+			golden, buf.String())
+	}
+}
+
+// TestVerifyHintsClean runs the CI soundness gate in-process: every
+// shipped kernel's dead hints must be consistent with the interpreter's
+// observed trace.
+func TestVerifyHintsClean(t *testing.T) {
+	var buf bytes.Buffer
+	if code := verifyHints(&buf, 100_000_000); code != 0 {
+		t.Fatalf("verifyHints exit %d:\n%s", code, buf.String())
+	}
+}

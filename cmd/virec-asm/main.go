@@ -9,11 +9,15 @@
 //	virec-asm -workload gather    # disassemble a built-in kernel
 //	virec-asm -check file.s       # assemble and statically analyze
 //	virec-asm -check-workloads    # analyze every built-in kernel
+//	virec-asm -hints file.s       # print synthesized register-management hints
+//	virec-asm -hints-workloads    # annotate every built-in kernel with hints
+//	virec-asm -verify-hints       # cross-check hints against interpreter traces
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/virec/virec/internal/asm"
@@ -31,11 +35,21 @@ func main() {
 		maxInsts = flag.Uint64("max-insts", 100_000_000, "interpreter instruction budget")
 		doCheck  = flag.Bool("check", false, "statically analyze the program (branch targets, reachability, use-before-def, register pressure)")
 		checkAll = flag.Bool("check-workloads", false, "statically analyze every built-in kernel and exit")
+		doHints  = flag.Bool("hints", false, "synthesize and print register-management hints for the program")
+		hintsAll = flag.Bool("hints-workloads", false, "annotate every built-in kernel with synthesized hints and exit")
+		verify   = flag.Bool("verify-hints", false, "run every built-in kernel in the interpreter and cross-check dead hints against the observed trace; exit nonzero on any unsound hint")
 	)
 	flag.Parse()
 
 	if *checkAll {
 		os.Exit(checkWorkloads())
+	}
+	if *hintsAll {
+		hintsWorkloads(os.Stdout)
+		return
+	}
+	if *verify {
+		os.Exit(verifyHints(os.Stdout, *maxInsts))
 	}
 
 	var prog *asm.Program
@@ -75,6 +89,11 @@ func main() {
 		if !rep.Clean() {
 			os.Exit(1)
 		}
+	}
+
+	if *doHints {
+		h := check.Synthesize(prog)
+		fmt.Printf("\nhints:\n%s", h.Annotate(prog))
 	}
 
 	if *run {
@@ -122,5 +141,62 @@ func checkWorkloads() int {
 		fmt.Fprintf(os.Stderr, "virec-asm: %d kernel(s) with findings\n", bad)
 		return 1
 	}
+	return 0
+}
+
+// hintsWorkloads prints the synthesized hint annotation for every built-in
+// kernel. The output is pinned by a golden-file test so hint drift is a
+// reviewed diff, not a silent behavior change.
+func hintsWorkloads(w io.Writer) {
+	for _, wl := range workloads.All() {
+		h := check.Synthesize(wl.Prog)
+		fmt.Fprintf(w, "== %s ==\n", wl.Name)
+		fmt.Fprint(w, h.Annotate(wl.Prog))
+		fmt.Fprintln(w)
+	}
+}
+
+// verifyHints is the CI soundness gate for the hint synthesizer: it runs
+// every built-in kernel to completion in the functional interpreter,
+// records the committed pc sequence, and checks each dead-register hint
+// against the observed trace (a register flagged dead must never be read
+// again before being overwritten). A violation means the static analysis
+// produced an unsound fact; the VRMU would still be functionally correct
+// (hints are timing-only) but the pass itself is broken, so we fail hard.
+func verifyHints(w io.Writer, maxInsts uint64) int {
+	bad := 0
+	for _, wl := range workloads.All() {
+		var ctx interp.Context
+		m := mem.NewMemory()
+		wl.Setup(m, 0, workloads.DefaultParams(0), func(r isa.Reg, v uint64) {
+			ctx.Set(r, v)
+		})
+		var pcs []int
+		res := interp.Run(wl.Prog, &ctx, m, maxInsts, func(e interp.TraceEntry) {
+			pcs = append(pcs, e.PC)
+		})
+		if !res.Halted {
+			fmt.Fprintf(w, "%-16s FAIL: did not halt within %d instructions\n", wl.Name, maxInsts)
+			bad++
+			continue
+		}
+		h := check.Synthesize(wl.Prog)
+		viol := check.DeadHintViolations(wl.Prog, pcs)
+		status := "sound"
+		if len(viol) > 0 {
+			status = fmt.Sprintf("%d UNSOUND hint(s)", len(viol))
+			bad++
+		}
+		fmt.Fprintf(w, "%-16s %8d insts traced  %2d/%2d hinted (%d dead, %d remat, %d cold)  %s\n",
+			wl.Name, res.Insts, h.Hinted, wl.Prog.Len(), h.Dead, h.Remat, h.Cold, status)
+		for _, f := range viol {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(w, "virec-asm: unsound hints in %d kernel(s)\n", bad)
+		return 1
+	}
+	fmt.Fprintf(w, "virec-asm: all dead hints consistent with interpreter traces\n")
 	return 0
 }

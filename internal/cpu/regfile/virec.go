@@ -84,6 +84,14 @@ type ViReC struct {
 	oracleCursor []uint32
 	inflightRegs map[uint64][]isa.Reg
 
+	// hintPend holds the compiler-hint marks of decoded-but-uncommitted
+	// instructions, keyed by sequence number like inflightRegs. Marks are
+	// applied to the tag store only at commit — a flushed instruction
+	// replays, so its marks are discarded with the flush — keeping hints
+	// exactly as speculative as the instructions that carry them. Nil
+	// unless the policy is hint-aware.
+	hintPend map[uint64]hintMark
+
 	// pending tracks fills in flight: (thread,reg) -> physical slot.
 	pending map[regKey]int
 	// pendingPhys marks physical slots with fills in flight (never
@@ -115,16 +123,29 @@ type ViReC struct {
 	cycle     uint64
 
 	// Stats
-	DummyDests     uint64
-	CommitReallocs uint64
-	GroupEvictions uint64
-	Prefetches     uint64
-	PrefetchHits   uint64 // prefetched registers found resident on demand
+	DummyDests       uint64
+	CommitReallocs   uint64
+	GroupEvictions   uint64
+	Prefetches       uint64
+	PrefetchHits     uint64 // prefetched registers found resident on demand
+	HintSpillsElided uint64 // dirty spills demoted off the critical path by a hint
 }
 
 type regKey struct {
 	thread int
 	reg    isa.Reg
+}
+
+// hintMark is the value-typed record of one instruction's hint marks,
+// applied at commit. Fixed-size arrays keep the decode path allocation
+// free (dead ≤ 4 operand fields, cold ≤ 6 touched registers).
+type hintMark struct {
+	thread int
+	dead   [4]isa.Reg
+	cold   [6]isa.Reg
+	nDead  uint8
+	nCold  uint8
+	remat  isa.Reg // destination to mark rematerializable; XZR = none
 }
 
 type sysSlot struct {
@@ -164,6 +185,9 @@ func NewViReC(cfg ViReCConfig, threads int, dcache mem.Device, memory *mem.Memor
 		p.oracleCursor = make([]uint32, threads)
 		p.inflightRegs = make(map[uint64][]isa.Reg)
 		tags.SetOracle(p.oracleDistance)
+	}
+	if cfg.Policy.HintAware() {
+		p.hintPend = make(map[uint64]hintMark)
 	}
 	return p
 }
@@ -244,6 +268,7 @@ func (p *ViReC) RegisterMetrics(r *telemetry.Registry, prefix string) {
 	r.Counter(prefix+"/group_evictions", &p.GroupEvictions)
 	r.Counter(prefix+"/prefetches", &p.Prefetches)
 	r.Counter(prefix+"/prefetch_hits", &p.PrefetchHits)
+	r.Counter(prefix+"/hint_spills_elided", &p.HintSpillsElided)
 	r.Counter(prefix+"/fills_issued", &p.bsi.FillsIssued)
 	r.Counter(prefix+"/spills_issued", &p.bsi.SpillsIssued)
 	r.Counter(prefix+"/sysreg_fills", &p.sysBsi.FillsIssued)
@@ -346,8 +371,18 @@ func (p *ViReC) spill(v vrmu.Victim) {
 		p.tracer.Emit(p.cycle, telemetry.EvVictim, p.traceCore, int32(v.Thread),
 			uint64(v.Reg), dirty, 0)
 	}
+	// Spill elision, the general form of the dummy-destination case: a
+	// dirty value the compiler proved dead (or rematerializable from an
+	// immediate) is never worth a critical-path writeback. The functional
+	// write above always happens — hints steer timing, never values — but
+	// the BSI store is demoted to background traffic.
+	crit := v.Dirty
+	if crit && (v.Dead || v.Remat) {
+		crit = false
+		p.HintSpillsElided++
+	}
 	//virec:alloc-ok one BSI op per spill, amortized by the backing-store write
-	p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write, noCrit: !v.Dirty,
+	p.bsi.pushStore(&bsiOp{addr: addr, kind: mem.Write, noCrit: !crit,
 		thread: int32(v.Thread), reg: v.Reg})
 }
 
@@ -586,8 +621,46 @@ func (p *ViReC) InstDecoded(thread int, seq uint64, in *isa.Inst) {
 		}
 		p.inflightRegs[seq] = regs
 	}
+	if p.hintPend != nil && in.Hints != 0 {
+		hm := hintMark{thread: thread, remat: isa.XZR}
+		hm.nDead = uint8(len(in.DeadRegs(hm.dead[:0])))
+		if in.Hints&isa.HintCold != 0 {
+			hm.nCold = uint8(len(in.Regs(hm.cold[:0])))
+		}
+		if in.Hints&isa.HintRemat != 0 {
+			hm.remat = in.Rd
+		}
+		p.hintPend[seq] = hm
+	}
 	p.lockedInst = nil
 	clear(p.lockedPhys)
+}
+
+// applyHintMark installs one committed instruction's hint marks into the
+// tag store. Registers no longer resident simply lose their mark (the
+// eviction already happened; nothing to steer).
+//
+//virec:hotpath
+func (p *ViReC) applyHintMark(hm hintMark) {
+	for i := 0; i < int(hm.nDead); i++ {
+		if phys, ok := p.tags.Lookup(hm.thread, hm.dead[i]); ok {
+			p.tags.MarkDead(phys)
+		}
+	}
+	for i := 0; i < int(hm.nCold); i++ {
+		r := hm.cold[i]
+		if r == isa.XZR {
+			continue
+		}
+		if phys, ok := p.tags.Lookup(hm.thread, r); ok {
+			p.tags.MarkCold(phys)
+		}
+	}
+	if hm.remat != isa.XZR {
+		if phys, ok := p.tags.Lookup(hm.thread, hm.remat); ok {
+			p.tags.MarkRemat(phys)
+		}
+	}
 }
 
 // InstCommitted retires the oldest rollback-queue entry and, under the
@@ -601,6 +674,12 @@ func (p *ViReC) InstCommitted(thread int, seq uint64) {
 		p.oracleCursor[thread] += uint32(len(p.inflightRegs[seq]))
 		delete(p.inflightRegs, seq)
 	}
+	if p.hintPend != nil {
+		if hm, ok := p.hintPend[seq]; ok {
+			p.applyHintMark(hm)
+			delete(p.hintPend, seq)
+		}
+	}
 }
 
 // PipelineFlushed resets the C bits of all in-flight registers (unless
@@ -610,6 +689,12 @@ func (p *ViReC) PipelineFlushed(thread int) {
 	if p.inflightRegs != nil {
 		// Flushed instructions replay: their accesses stay in the future.
 		clear(p.inflightRegs)
+	}
+	if p.hintPend != nil {
+		// The rollback path for hints: flushed instructions replay, so
+		// their unapplied marks are discarded with them (they will be
+		// re-recorded at the replayed decode).
+		clear(p.hintPend)
 	}
 	if p.cfg.NoRollback {
 		p.rq.Drop()
@@ -897,6 +982,15 @@ func (p *ViReC) DiagDump() string {
 			}
 			if e.Dummy {
 				flags += ",dummy"
+			}
+			if e.Dead {
+				flags += ",dead"
+			}
+			if e.Cold {
+				flags += ",cold"
+			}
+			if e.Remat {
+				flags += ",remat"
 			}
 			fmt.Fprintf(&b, " %s(T=%d,C=%d,A=%d%s)", e.Reg, e.T, c, e.A, flags)
 		}

@@ -262,6 +262,11 @@ func (k *Kernel) rebuild() {
 	insts := emit(k.ir)
 	name := fmt.Sprintf("difftest-%016x", k.Seed)
 	k.Prog = &asm.Program{Name: name, Insts: insts}
+	// Hints ride on every generated kernel, so the hint-aware policies get
+	// exercised by the same seed population as everything else; synthesis
+	// is deterministic, so a shrunk or replayed kernel re-derives the same
+	// flags.
+	check.Apply(k.Prog)
 	k.Spec = makeSpec(name, k.Prog, k.Cfg.ArenaBytes)
 }
 
@@ -595,6 +600,9 @@ func KernelFromProgram(seed uint64, cfg GenConfig, prog *asm.Program) *Kernel {
 	cfg = cfg.clamped()
 	name := fmt.Sprintf("difftest-%016x", seed)
 	prog.Name = name
+	// Repro artifacts travel as text, which does not carry hints;
+	// re-synthesize them so a replay exercises the same policy behaviour.
+	check.Apply(prog)
 	return &Kernel{
 		Seed:   seed,
 		Cfg:    cfg,

@@ -8,7 +8,7 @@ import (
 
 func TestNamesComplete(t *testing.T) {
 	want := []string{"ablations", "extensions", "fig1", "fig10", "fig11",
-		"fig12", "fig13", "fig14", "fig2", "fig9", "headline", "mix", "table1"}
+		"fig12", "fig13", "fig14", "fig2", "fig9", "headline", "hints", "mix", "table1"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -17,9 +17,15 @@ import (
 //	byte  1..4   Rd, Rn, Rm, Ra
 //	byte  5      Shift
 //	byte  6      Cond (low nibble) | Mode (high nibble)
-//	byte  7      reserved, must be zero
+//	byte  7      hint byte: version (bits 6-7) | hint flags (bits 0-5)
 //	bytes 8..15  Imm  (int64)
 //	bytes 16..19 Target (int32)
+//
+// Byte 7 was originally reserved-must-be-zero; it now carries the
+// versioned hint byte. Zero still means "no hints", so every legacy
+// encoding decodes identically, byte for byte. A non-zero byte must have
+// version 1 and at least one flag set (the canonical encoding of "no
+// hints" is the zero byte, keeping decode→encode byte-exact).
 const EncodedBytes = 20
 
 // Encode appends the fixed-width binary form of the instruction to dst.
@@ -32,6 +38,9 @@ func (in *Inst) Encode(dst []byte) []byte {
 	b[4] = byte(in.Ra)
 	b[5] = in.Shift
 	b[6] = byte(in.Cond) | byte(in.Mode)<<4
+	if flags := in.Hints & hintFlagMask; flags != 0 {
+		b[7] = byte(flags) | 1<<hintVersionShift
+	}
 	binary.LittleEndian.PutUint64(b[8:], uint64(in.Imm))
 	binary.LittleEndian.PutUint32(b[16:], uint32(in.Target))
 	return append(dst, b[:]...)
@@ -63,8 +72,19 @@ func Decode(b []byte) (Inst, error) {
 	if mode := b[6] >> 4; mode > uint8(AddrRegShift) {
 		return in, fmt.Errorf("isa: bad addressing mode %d", mode)
 	}
-	if b[7] != 0 {
-		return in, fmt.Errorf("isa: reserved byte %#x", b[7])
+	var hints Hint
+	if hb := b[7]; hb != 0 {
+		ver := hb >> hintVersionShift
+		flags := Hint(hb) & hintFlagMask
+		switch {
+		case ver == 0:
+			return in, fmt.Errorf("isa: hint byte %#x has flags but version 0", hb)
+		case ver != 1:
+			return in, fmt.Errorf("isa: unsupported hint version %d", ver)
+		case flags == 0:
+			return in, fmt.Errorf("isa: non-canonical hint byte %#x (version set, no flags)", hb)
+		}
+		hints = flags
 	}
 	in = Inst{
 		Op:     Op(b[0]),
@@ -77,6 +97,7 @@ func Decode(b []byte) (Inst, error) {
 		Mode:   AddrMode(b[6] >> 4),
 		Imm:    int64(binary.LittleEndian.Uint64(b[8:])),
 		Target: int32(binary.LittleEndian.Uint32(b[16:])),
+		Hints:  hints,
 	}
 	return in, nil
 }

@@ -291,6 +291,7 @@ type Inst struct {
 	Target int32
 	Cond   Cond
 	Mode   AddrMode
+	Hints  Hint // compiler-assisted register-management hints (timing only)
 }
 
 // InstBytes is the architectural size of one instruction in memory. The

@@ -53,9 +53,19 @@ const (
 	// evictions within a thread. It requires an oracle feed (SetOracle)
 	// and is not part of AllPolicies.
 	Belady
+	// LRCH is LRC plus compiler hints ("A Lightweight, Compiler-Assisted
+	// Register File Cache for GPGPU"): a register the static analyzer
+	// proved dead outranks every live entry as a victim, and spills of
+	// dead or rematerializable values come off the BSI critical path.
+	LRCH
+	// LRCRD adds Register-Dispersion-style cold demotion (arXiv
+	// 2503.17333) to LRCH: registers only touched outside loops are
+	// demoted behind hot ones in the retention order.
+	LRCRD
 )
 
-var policyNames = [...]string{"PLRU", "LRU", "MRT-PLRU", "MRT-LRU", "LRC", "Belady"}
+var policyNames = [...]string{"PLRU", "LRU", "MRT-PLRU", "MRT-LRU", "LRC", "Belady",
+	"LRC+H", "LRC+RD"}
 
 // String returns the paper's name for the policy.
 func (p Policy) String() string {
@@ -75,8 +85,17 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("vrmu: unknown policy %q", s)
 }
 
-// AllPolicies lists every policy, in Figure-12 order.
+// AllPolicies lists every oracle-free, hint-free policy, in Figure-12
+// order. Belady needs an oracle feed and the hint policies need hint-
+// annotated programs, so both are opted into explicitly.
 func AllPolicies() []Policy { return []Policy{PLRU, LRU, MRTPLRU, MRTLRU, LRC} }
+
+// HintPolicies lists the policies that consume compiler hints.
+func HintPolicies() []Policy { return []Policy{LRCH, LRCRD} }
+
+// HintAware reports whether the policy consumes compiler hints (and so
+// whether a provider should track hint marks for in-flight instructions).
+func (p Policy) HintAware() bool { return p == LRCH || p == LRCRD }
 
 const (
 	maxT   = 7 // 3-bit thread recency
@@ -98,6 +117,14 @@ type Entry struct {
 	Dummy bool   // allocated via the dummy-destination optimization; the
 	// value is a placeholder and must not be spilled
 
+	// Compiler-hint bits, set at commit of a hinted instruction and
+	// consumed by the hint-aware policies. Dead and Remat clear on any
+	// reuse of the entry (the hint described the previous lifetime); they
+	// affect victim choice and spill scheduling only, never values.
+	Dead  bool // architecturally dead on every path; ideal victim
+	Cold  bool // only ever touched outside loops; demote behind hot regs
+	Remat bool // value reproducible from an immediate; writeback is waste
+
 	lastUse uint64 // perfect-LRU timestamp
 }
 
@@ -110,6 +137,8 @@ type Victim struct {
 	Value  uint64
 	Dirty  bool
 	Dummy  bool
+	Dead   bool // hint-proven dead: spill may leave the critical path
+	Remat  bool // hint-proven rematerializable: likewise
 }
 
 // Stats accumulates tag-store statistics.
@@ -119,6 +148,9 @@ type Stats struct {
 	Evictions  uint64
 	DirtyEvict uint64
 	CResets    uint64 // C bits reset by the rollback queue
+
+	DeadVictims   uint64 // evictions that picked a hint-proven dead entry
+	ColdDemotions uint64 // entries demoted cold by a compiler hint
 }
 
 // HitRate returns hits/(hits+misses).
@@ -177,6 +209,8 @@ func (t *TagStore) RegisterMetrics(r *telemetry.Registry, prefix string) {
 	r.Counter(prefix+"/evictions", &s.Evictions)
 	r.Counter(prefix+"/dirty_evicts", &s.DirtyEvict)
 	r.Counter(prefix+"/c_resets", &s.CResets)
+	r.Counter(prefix+"/dead_victims", &s.DeadVictims)
+	r.Counter(prefix+"/cold_demotions", &s.ColdDemotions)
 	r.Gauge(prefix+"/occupancy", func() float64 { return float64(t.Occupancy()) })
 }
 
@@ -273,6 +307,11 @@ func (t *TagStore) Touch(phys int) {
 	if e := &t.entries[phys]; e.Valid {
 		e.A = 0
 		e.C = true
+		// Any reuse invalidates the per-lifetime hints: the instruction
+		// touching the register proves the dead hint described an earlier
+		// lifetime, and the new value may not match the old immediate.
+		e.Dead = false
+		e.Remat = false
 		e.lastUse = t.clock
 	}
 }
@@ -301,6 +340,19 @@ func (t *TagStore) retention(i int, oldestRank []uint64) uint64 {
 		return uint64(e.T)<<32 | oldestRank[i]
 	case LRC:
 		return uint64(e.T)<<4 | cBit<<3 | uint64(e.A)
+	case LRCH, LRCRD:
+		// LRC order, with hint bits above the recency bits: a dead entry
+		// beats every live one (its value is unreachable, eviction is
+		// free), and under LRC+RD a cold entry goes before any hot one of
+		// equal deadness.
+		deadBit, coldBit := uint64(0), uint64(0)
+		if e.Dead {
+			deadBit = 1
+		}
+		if e.Cold && t.policy == LRCRD {
+			coldBit = 1
+		}
+		return deadBit<<9 | coldBit<<8 | uint64(e.T)<<4 | cBit<<3 | uint64(e.A)
 	case Belady:
 		var dist uint64
 		if t.oracle != nil {
@@ -373,11 +425,15 @@ func (t *TagStore) Insert(thread int, reg isa.Reg, phys int) (Victim, bool) {
 	var v Victim
 	evicted := false
 	if e.Valid {
-		v = Victim{Thread: e.Thread, Reg: e.Reg, Value: e.Value, Dirty: e.Dirty, Dummy: e.Dummy}
+		v = Victim{Thread: e.Thread, Reg: e.Reg, Value: e.Value, Dirty: e.Dirty,
+			Dummy: e.Dummy, Dead: e.Dead, Remat: e.Remat}
 		evicted = true
 		t.Stats.Evictions++
 		if e.Dirty {
 			t.Stats.DirtyEvict++
+		}
+		if e.Dead {
+			t.Stats.DeadVictims++
 		}
 		t.camSet(e.Thread, e.Reg, -1)
 	}
@@ -400,26 +456,71 @@ func (t *TagStore) Insert(thread int, reg isa.Reg, phys int) (Victim, bool) {
 // WriteValue updates the cached value of physical register phys and marks
 // it dirty (the backing store no longer matches).
 func (t *TagStore) WriteValue(phys int, v uint64) {
-	t.entries[phys].Value = v
-	t.entries[phys].Dirty = true
-	t.entries[phys].Dummy = false
+	e := &t.entries[phys]
+	e.Value = v
+	e.Dirty = true
+	e.Dummy = false
+	e.Dead = false
+	e.Remat = false
 }
 
 // FillValue installs a value fetched from the backing store: the entry
 // stays clean.
 func (t *TagStore) FillValue(phys int, v uint64) {
-	t.entries[phys].Value = v
-	t.entries[phys].Dirty = false
-	t.entries[phys].Dummy = false
+	e := &t.entries[phys]
+	e.Value = v
+	e.Dirty = false
+	e.Dummy = false
+	e.Dead = false
+	e.Remat = false
 }
 
 // FillDummy installs a placeholder for a destination-only register (the
 // dummy-value optimization): the entry is usable as a write target but its
 // value must never be spilled.
 func (t *TagStore) FillDummy(phys int) {
-	t.entries[phys].Value = 0
-	t.entries[phys].Dirty = false
-	t.entries[phys].Dummy = true
+	e := &t.entries[phys]
+	e.Value = 0
+	e.Dirty = false
+	e.Dummy = true
+	e.Dead = false
+	e.Remat = false
+}
+
+// MarkDead records a compiler hint that the value cached at phys is
+// architecturally dead on every path: the hint-aware policies then prefer
+// it as a victim and its spill leaves the critical path. The mark is
+// applied at commit (a flushed instruction's hints are discarded by the
+// provider) and clears on any later touch, write or fill of the entry.
+//
+//virec:hotpath
+func (t *TagStore) MarkDead(phys int) {
+	if e := &t.entries[phys]; e.Valid {
+		e.Dead = true
+	}
+}
+
+// MarkRemat records a compiler hint that the value cached at phys is
+// rematerializable from its producing instruction's immediate: a dirty
+// copy is never worth a critical-path writeback.
+//
+//virec:hotpath
+func (t *TagStore) MarkRemat(phys int) {
+	if e := &t.entries[phys]; e.Valid {
+		e.Remat = true
+	}
+}
+
+// MarkCold demotes the entry at phys behind hot registers in the LRC+RD
+// retention order, per a compiler hint that the register is only ever
+// touched outside loops. Counted once per false→true transition.
+//
+//virec:hotpath
+func (t *TagStore) MarkCold(phys int) {
+	if e := &t.entries[phys]; e.Valid && !e.Cold {
+		e.Cold = true
+		t.Stats.ColdDemotions++
+	}
 }
 
 // ReadValue returns the cached value of physical register phys.
@@ -483,10 +584,14 @@ func (t *TagStore) Evict(phys int) (Victim, bool) {
 	if !e.Valid {
 		return Victim{}, false
 	}
-	v := Victim{Thread: e.Thread, Reg: e.Reg, Value: e.Value, Dirty: e.Dirty, Dummy: e.Dummy}
+	v := Victim{Thread: e.Thread, Reg: e.Reg, Value: e.Value, Dirty: e.Dirty,
+		Dummy: e.Dummy, Dead: e.Dead, Remat: e.Remat}
 	t.Stats.Evictions++
 	if e.Dirty {
 		t.Stats.DirtyEvict++
+	}
+	if e.Dead {
+		t.Stats.DeadVictims++
 	}
 	t.camSet(e.Thread, e.Reg, -1)
 	e.Valid = false

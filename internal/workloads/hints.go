@@ -1,0 +1,20 @@
+package workloads
+
+import "github.com/virec/virec/internal/asm/check"
+
+// Hint synthesis runs once over every shipped kernel at package load, the
+// same post-assembly pass virec-asm applies: the static analyzer's
+// liveness facts land in each instruction's hint byte, ready for the
+// hint-aware VRMU policies. Hints steer replacement and spill timing only
+// — interp ignores them and difftest holds hinted runs to lock-step
+// equivalence — so hint-free consumers are unaffected.
+//
+// File-name note: Go runs init functions in file-name order within a
+// package, and the spec slices are package-level vars initialized before
+// any init runs; "hints.go" sorts after "extra.go" and "fp.go", so all 20
+// specs are registered by the time this pass runs.
+func init() {
+	for _, s := range all {
+		check.Apply(s.Prog)
+	}
+}
