@@ -68,10 +68,21 @@ func main() {
 		maxCyc   = flag.Uint64("max-cycles", 0, "per-scenario cycle budget (default 20M)")
 		quiet    = flag.Bool("q", false, "only print failures and the final summary")
 		farmURL  = flag.String("farm", "", "run each seed as a job on this virec-farm server")
+		skipMode = flag.String("skipahead", "on", "timed-model clock skip-ahead: on or off (off ticks every cycle in every scenario)")
 	)
 	flag.Parse()
 
 	opts := difftest.CheckOpts{MaxCycles: *maxCyc}
+	switch *skipMode {
+	case "on":
+	case "off":
+		opts.ForceNoSkip = true
+	default:
+		fatalUsage(fmt.Errorf("bad -skipahead %q: want on or off", *skipMode))
+	}
+	if opts.ForceNoSkip && *farmURL != "" {
+		fatalUsage(fmt.Errorf("-skipahead=off runs locally; it cannot be combined with -farm"))
+	}
 	var scenarioNames []string
 	if *scStr != "" {
 		for _, s := range strings.Split(*scStr, ",") {

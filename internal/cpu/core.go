@@ -178,7 +178,11 @@ const (
 type Core struct {
 	cfg      Config
 	provider Provider
-	dcache   mem.Device
+	// skipSup caches the provider's SkipSupport view (nil when the
+	// provider does not implement it), so the per-cycle skip scan never
+	// repeats the type assertion.
+	skipSup SkipSupport
+	dcache  mem.Device
 	icache   mem.Device // nil = fixed-latency fetch pipe
 	memory   *mem.Memory
 	threads  []*Thread
@@ -277,6 +281,7 @@ func New(cfg Config, provider Provider, dcache mem.Device, memory *mem.Memory) *
 	for i := range c.threads {
 		c.threads[i] = &Thread{ID: i}
 	}
+	c.skipSup, _ = provider.(SkipSupport)
 	c.Stats.InstsPerThread = make([]uint64, cfg.Threads)
 	return c
 }
@@ -1070,6 +1075,297 @@ func (c *Core) drainSQ() {
 	for len(c.sq) > 0 && c.sq[0].done {
 		c.sq = c.sq[1:]
 	}
+}
+
+// ---- clock skip-ahead ----
+
+// skipClass records which stall counters a pure-stall cycle increments,
+// mirroring exactly what a normally ticked cycle would have counted.
+type skipClass struct {
+	memWait    bool // MEM holds an issued, unfinished load
+	decodeFwd  bool // decode stalled on an in-flight producer
+	decodeReg  bool // decode stalled on a statelessly rejected Acquire
+	fetchFull  bool // fetch buffer full (live thread, no free slot)
+	switchWait bool // CSL pure-waiting (Mask 1/2 or CanSwitchTo not ready)
+}
+
+// minDeadline folds deadline d into cur, where 0 means "none yet".
+func minDeadline(cur, d uint64) uint64 {
+	if cur == 0 || d < cur {
+		return d
+	}
+	return cur
+}
+
+// skipScan classifies the core's current stall, read-only. ok reports
+// whether ticking the core at now+1 would be a pure stall: a cycle that
+// increments exactly the counters named by cls and changes no other state
+// (no stage movement, no memory-system access, no provider mutation, no
+// trace event). deadline, when non-zero, is the first future cycle at
+// which this classification stops being self-evidently stable (an EX
+// latency expiring, a fixed-latency fetch slot maturing, a masked switch
+// becoming eligible); external completions are bounded by the memory-side
+// NextEvent scan instead. The soundness argument lives in DESIGN.md §15.
+func (c *Core) skipScan(now uint64) (cls skipClass, deadline uint64, ok bool) {
+	// Commit: anything latched in WB retires (or probes the store queue).
+	if c.wb != nil {
+		return cls, 0, false
+	}
+	// MEM: only an issued, unfinished load is a pure wait; an unissued
+	// load retries the dcache port and a finished op moves to WB.
+	if f := c.mm; f != nil {
+		if f.squashed || !f.in.IsLoad() || !f.loadIssued || f.loadDone {
+			return cls, 0, false
+		}
+		cls.memWait = true
+	}
+	// EX: an op still counting down its latency matures at exReadyAt; a
+	// finished op behind an occupied MEM stage waits without a deadline.
+	if f := c.ex; f != nil {
+		if f.squashed || !f.resultReady {
+			return cls, 0, false
+		}
+		if c.mm == nil {
+			if now >= f.exReadyAt {
+				return cls, 0, false // would move to MEM
+			}
+			deadline = minDeadline(deadline, f.exReadyAt)
+		}
+	}
+	// Decode: a forwarding stall is pure; past the operand scan,
+	// decodeStage re-Acquires the latched instruction every cycle, so the
+	// cycle is only skippable when the provider proves the repeated call
+	// is a stateless no-op (PeekAcquire). A stateless success behind an
+	// occupied EX is the uncounted structural stall; a stateless
+	// rejection counts DecodeRegStalls; a success with EX free would
+	// dispatch. (The unresolved-branch guard cannot be the active stall
+	// here: a branch in EX resolves the cycle its result is computed, and
+	// !resultReady already bailed above.)
+	if f := c.dec; f != nil {
+		if f.squashed {
+			return cls, 0, false
+		}
+		fwdStalled, need := c.decodeScan()
+		switch {
+		case fwdStalled:
+			cls.decodeFwd = true
+		case c.skipSup == nil:
+			return cls, 0, false
+		default:
+			ready, pure := c.skipSup.PeekAcquire(f.thread, f.in, need)
+			if !pure {
+				return cls, 0, false
+			}
+			if ready {
+				if c.ex == nil {
+					return cls, 0, false // would dispatch to EX
+				}
+			} else {
+				cls.decodeReg = true
+			}
+		}
+	}
+	// Fetch: a live thread with buffer space enqueues; an unissued icache
+	// slot retries its port; a ready head moves into decode.
+	if c.cur >= 0 && !c.threads[c.cur].Halted {
+		if len(c.fetchQ) < c.cfg.FetchBufSize {
+			return cls, 0, false
+		}
+		if c.icache != nil {
+			for _, s := range c.fetchQ {
+				if !s.issued {
+					return cls, 0, false
+				}
+			}
+		}
+		if c.dec == nil && len(c.fetchQ) > 0 {
+			s := c.fetchQ[0]
+			if c.icache == nil {
+				if s.readyAt <= now {
+					return cls, 0, false
+				}
+				deadline = minDeadline(deadline, s.readyAt)
+			} else if s.ready {
+				return cls, 0, false
+			}
+		}
+		cls.fetchFull = true
+	}
+	// CSL: a masked switch wakes at pendingAt; past that, only the
+	// SwitchWaits paths of csl are pure.
+	if c.pendingSwitch != switchNone {
+		if now < c.pendingAt {
+			deadline = minDeadline(deadline, c.pendingAt)
+		} else {
+			wait, pure := c.cslPureWait()
+			if !pure {
+				return cls, 0, false
+			}
+			cls.switchWait = wait
+		}
+	}
+	// Store queue: an unsent entry retries its dcache access; a completed
+	// head would be popped.
+	for _, e := range c.sq {
+		if !e.sent {
+			return cls, 0, false
+		}
+	}
+	if len(c.sq) > 0 && c.sq[0].done {
+		return cls, 0, false
+	}
+	return cls, deadline, true
+}
+
+// decodeScan mirrors decodeStage's operand scan read-only. fwdStalled
+// reports that decode would stall on an in-flight producer this cycle
+// (the pure DecodeFwdStalls wait); otherwise need lists the sources the
+// provider must supply — exactly the needSrcs the real Acquire call gets
+// — for the PeekAcquire preview. need aliases the core's scratch buffer
+// and is only valid until the next stage call.
+func (c *Core) decodeScan() (fwdStalled bool, need []isa.Reg) {
+	in := c.dec.in
+	srcs := in.SrcRegs(c.scratchSrc[:0])
+	need = c.scratchNeed[:0]
+	var seen [4]isa.Reg
+	n := 0
+srcLoop:
+	for _, r := range srcs {
+		if r == isa.XZR {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if seen[i] == r {
+				continue srcLoop
+			}
+		}
+		if n >= len(seen) {
+			break
+		}
+		_, found, stall := c.producerOf(r)
+		if stall {
+			return true, nil
+		}
+		seen[n] = r
+		n++
+		if !found {
+			need = append(need, r)
+		}
+	}
+	if in.ReadsFlags() {
+		if _, _, stall := c.flagsProducer(); stall {
+			return true, nil
+		}
+	}
+	return false, need
+}
+
+// cslPureWait mirrors csl's decision chain read-only for an unmasked
+// pending switch. wait reports that csl would increment SwitchWaits and
+// return (a pure stall); pure=false means csl would mutate state (clear
+// or cancel the switch, start a thread, claim provider resources, or
+// perform the switch) and the cycle must be ticked normally.
+func (c *Core) cslPureWait() (wait, pure bool) {
+	reason := c.pendingSwitch
+	if reason == switchMiss {
+		if c.mm == nil || !c.mm.in.IsLoad() || c.mm.loadDone {
+			return false, false // moot: csl clears the pending switch
+		}
+		if c.oldestInflight() != c.mm {
+			return true, true // Mask 1
+		}
+		if !c.committedSinceSwitch && c.zeroCommitSwitches >= c.liveThreads()-1 {
+			return false, false // Mask 3 cancels the switch
+		}
+	}
+	if c.provider.BlockSwitch() {
+		return true, true // Mask 2
+	}
+	next := c.nextThread()
+	if next < 0 || (next == c.cur && reason != switchStart) {
+		return false, false
+	}
+	if !c.threads[next].Started {
+		return false, false
+	}
+	if c.skipSup == nil {
+		return false, false
+	}
+	ready, p := c.skipSup.PeekCanSwitch(next)
+	if !p || ready {
+		return false, false
+	}
+	return true, true
+}
+
+// NextEvent reports the earliest future cycle at which ticking this core
+// could do anything beyond a pure stall. ok=false means the core is fully
+// passive: nothing changes until an external completion callback arrives
+// (those are bounded by the memory devices' own NextEvent scans).
+// ok=true with cycle==now+1 means the core must be ticked normally. The
+// method is read-only; now must be the last ticked cycle.
+func (c *Core) NextEvent(now uint64) (uint64, bool) {
+	if c.Done() {
+		return 0, false
+	}
+	if c.skipSup == nil || !c.skipSup.SkipQuiescent() {
+		return now + 1, true
+	}
+	_, deadline, skippable := c.skipScan(now)
+	if !skippable {
+		return now + 1, true
+	}
+	if deadline == 0 {
+		return 0, false
+	}
+	if deadline <= now+1 {
+		return now + 1, true
+	}
+	return deadline, true
+}
+
+// SkipTo advances the core's clock from its current cycle to last (the
+// final cycle of a skipped run), applying exactly the per-cycle effects
+// normal ticking would have had: Stats.Cycles, the stall counters of the
+// current stall class, the trace-clock stamp, and one provider Tick (a
+// quiescent no-op that keeps the provider's cycle stamp in sync, so
+// policy timestamps stay byte-identical with the unskipped run). The
+// caller must have validated the run with NextEvent on every component:
+// each cycle in (c.cycle, last] is a pure stall.
+func (c *Core) SkipTo(last uint64) {
+	if last <= c.cycle {
+		return
+	}
+	n := last - c.cycle
+	if c.stamper != nil {
+		c.stamper.StampCycle(last)
+	}
+	if c.Done() {
+		c.cycle = last
+		return
+	}
+	cls, _, ok := c.skipScan(c.cycle)
+	if !ok {
+		panic("cpu: SkipTo on a core that is not purely stalled")
+	}
+	c.cycle = last
+	c.Stats.Cycles += n
+	if cls.memWait {
+		c.Stats.MemWaitCycles += n
+	}
+	if cls.decodeFwd {
+		c.Stats.DecodeFwdStalls += n
+	}
+	if cls.decodeReg {
+		c.Stats.DecodeRegStalls += n
+	}
+	if cls.fetchFull {
+		c.Stats.FetchStalls += n
+	}
+	if cls.switchWait {
+		c.Stats.SwitchWaits += n
+	}
+	c.provider.Tick(last)
 }
 
 // SetTrace installs a debug event hook (tests only).

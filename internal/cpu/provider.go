@@ -70,6 +70,38 @@ type Provider interface {
 	Tick(cycle uint64)
 }
 
+// SkipSupport is an optional Provider extension that enables timed-model
+// clock skip-ahead. A provider implementing it lets the core prove that a
+// whole run of future cycles would be pure stalls — identical stall
+// counters, no state change — so the simulator can jump the clock over
+// them. Providers that do not implement SkipSupport simply never skip;
+// correctness is unaffected, only speed.
+type SkipSupport interface {
+	// SkipQuiescent reports whether Tick would be a state-preserving
+	// no-op right now (no queued BSI transactions to issue; in-flight
+	// dcache transactions whose completions arrive via callbacks are
+	// fine). A true result must remain true until an external event
+	// (dcache completion) or a core-initiated call mutates the provider.
+	SkipQuiescent() bool
+
+	// PeekCanSwitch is a side-effect-free preview of CanSwitchTo(next).
+	// pure reports whether the real CanSwitchTo call would have been
+	// side-effect-free; when pure is false (the call would start a
+	// restore/claim), the core must not skip and instead performs the
+	// real call on a normally ticked cycle.
+	PeekCanSwitch(next int) (ready, pure bool)
+
+	// PeekAcquire is a side-effect-free preview of a *repeated* Acquire
+	// call for an instruction already latched in decode (the first call
+	// always happens on a normally ticked cycle). pure reports that the
+	// real call would change no provider state — not even a counter —
+	// and return ready; when pure is false the cycle must be ticked
+	// normally. Decode's structural stall behind an occupied EX stage
+	// re-Acquires every cycle, so this is what makes long memory-stall
+	// windows skippable.
+	PeekAcquire(thread int, in *isa.Inst, needSrcs []isa.Reg) (ready, pure bool)
+}
+
 // RegLayout describes the reserved memory region that backs register
 // contexts: each thread owns a 576-byte stride (eight 64-byte lines for
 // the 32 integer + 32 floating-point registers plus one line for system

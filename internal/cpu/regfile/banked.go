@@ -69,6 +69,21 @@ func (p *Banked) CanSwitchTo(next int) bool { return p.loading[next] == 0 }
 // BlockSwitch never masks switches.
 func (p *Banked) BlockSwitch() bool { return false }
 
+// SkipQuiescent reports whether Tick would be a pure no-op (cpu.SkipSupport).
+func (p *Banked) SkipQuiescent() bool { return p.bsi.quiet() }
+
+// PeekCanSwitch previews CanSwitchTo without side effects; the banked
+// readiness check is already pure.
+func (p *Banked) PeekCanSwitch(next int) (ready, pure bool) {
+	return p.loading[next] == 0, true
+}
+
+// PeekAcquire previews a repeated Acquire, which for a banked file is
+// always a stateless success.
+func (p *Banked) PeekAcquire(thread int, in *isa.Inst, needSrcs []isa.Reg) (ready, pure bool) {
+	return true, true
+}
+
 // OnSwitch is a bank-select: free.
 func (p *Banked) OnSwitch(prev, next int) {}
 

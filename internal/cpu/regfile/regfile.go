@@ -115,6 +115,11 @@ func (b *bsi) Outstanding() int {
 	return len(b.loads) + len(b.stores) + b.outstanding
 }
 
+// quiet reports whether Tick would be a pure no-op: nothing is queued for
+// issue. In-flight transactions (outstanding > 0) complete through dcache
+// callbacks and need no BSI ticks, so they do not block clock skip-ahead.
+func (b *bsi) quiet() bool { return len(b.loads) == 0 && len(b.stores) == 0 }
+
 // Tick issues queued transactions to the dcache, loads first.
 func (b *bsi) Tick(cycle uint64) {
 	issued := 0

@@ -754,6 +754,57 @@ func (p *ViReC) CanSwitchTo(next int) bool {
 // outstanding at the BSI, per Section 5.3.
 func (p *ViReC) BlockSwitch() bool { return p.bsi.Outstanding() > 0 }
 
+// SkipQuiescent reports whether Tick would be a pure no-op across all
+// three BSIs (cpu.SkipSupport).
+func (p *ViReC) SkipQuiescent() bool {
+	return p.bsi.quiet() && p.sysBsi.quiet() && p.pfBsi.quiet()
+}
+
+// PeekCanSwitch previews CanSwitchTo without side effects. A miss in the
+// ping-pong buffer would claim a slot and start a sysreg load, so that
+// case reports pure=false and forces a normally ticked cycle.
+func (p *ViReC) PeekCanSwitch(next int) (ready, pure bool) {
+	if i := p.sysSlotOf(next); i >= 0 {
+		return p.sysBuf[i].ready, true
+	}
+	return false, false
+}
+
+// PeekAcquire previews a repeated Acquire for the instruction already
+// latched in decode. The full-rollback-queue rejection is stateless. Past
+// that, a repeated call for the latched instruction only re-runs
+// lockIfPresent (idempotent) as long as every needed source and every
+// destination is resident with no fill pending; the hit/miss counting and
+// lock-set reset happen once, when the instruction is first latched on a
+// normally ticked cycle. Any non-resident register would allocate and
+// start a fill, so it forces a normally ticked cycle.
+func (p *ViReC) PeekAcquire(thread int, in *isa.Inst, needSrcs []isa.Reg) (ready, pure bool) {
+	if p.rq.Full() {
+		return false, true
+	}
+	if p.lockedInst != in || p.lockedThread != thread {
+		return false, false // first call latches and counts
+	}
+	for _, r := range needSrcs {
+		if r != isa.XZR && !p.resident(thread, r) {
+			return false, false
+		}
+	}
+	var dsts [2]isa.Reg
+	for _, d := range in.DstRegs(dsts[:0]) {
+		if d == isa.XZR {
+			continue
+		}
+		if !p.tags.Contains(thread, d) {
+			return false, false
+		}
+		if _, filling := p.pending[regKey{thread, d}]; filling {
+			return false, true // held until the fill lands (BSI busy)
+		}
+	}
+	return true, true
+}
+
 // OnSwitch updates the T bits and rotates the system-register ping-pong
 // buffer: the previous thread's line is written back and the following
 // thread's line is prefetched, overlapping pipeline warmup.

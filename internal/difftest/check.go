@@ -27,6 +27,7 @@ type Scenario struct {
 	Threads int
 	CtxPct  int    // ViReC register capacity as % of active context; 0 = 100
 	Faults  string // harden schedule name ("" = no fault injection)
+	NoSkip  bool   // disable timed-model clock skip-ahead for this run
 }
 
 // String renders the scenario in the stable form ParseScenario accepts,
@@ -43,6 +44,9 @@ func (s Scenario) String() string {
 	}
 	if s.Faults != "" {
 		b.WriteString("/faults=" + s.Faults)
+	}
+	if s.NoSkip {
+		b.WriteString("/noskip")
 	}
 	return b.String()
 }
@@ -86,6 +90,8 @@ func ParseScenario(text string) (Scenario, error) {
 				return Scenario{}, fmt.Errorf("difftest: scenario %q: unknown fault schedule %q", text, name)
 			}
 			sc.Faults = name
+		case p == "noskip":
+			sc.NoSkip = true
 		default:
 			return Scenario{}, fmt.Errorf("difftest: scenario %q: unknown component %q", text, p)
 		}
@@ -137,6 +143,15 @@ func Matrix() []Scenario {
 	out = append(out,
 		Scenario{Kind: sim.Banked, Threads: 8, Faults: "storm"},
 		Scenario{Kind: sim.Software, Threads: 8, Faults: "all"})
+	// Skip-ahead off axis: the timed model must be indistinguishable from
+	// the reference whether or not the clock is skipped, so a slice of the
+	// matrix reruns with the tick-every-cycle loop.
+	out = append(out,
+		Scenario{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 8, NoSkip: true},
+		Scenario{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 8, CtxPct: 40, NoSkip: true},
+		Scenario{Kind: sim.ViReC, Policy: vrmu.LRC, Threads: 4, Faults: "all", NoSkip: true},
+		Scenario{Kind: sim.Banked, Threads: 4, NoSkip: true},
+		Scenario{Kind: sim.Software, Threads: 4, NoSkip: true})
 	return out
 }
 
@@ -176,6 +191,9 @@ type CheckOpts struct {
 	WrapProvider func(coreID int, p cpu.Provider) cpu.Provider
 	// MaxCycles bounds each scenario's run (default 20M).
 	MaxCycles uint64
+	// ForceNoSkip disables timed-model skip-ahead for every scenario,
+	// regardless of its NoSkip field (the -skipahead=off CI lane).
+	ForceNoSkip bool
 }
 
 // Check co-simulates the kernel against the interpreter across the
@@ -224,6 +242,7 @@ func scenarioConfig(k *Kernel, sc Scenario, opts CheckOpts) sim.Config {
 		Policy:         sc.Policy,
 		MaxCycles:      opts.MaxCycles,
 		WrapProvider:   opts.WrapProvider,
+		NoSkipAhead:    sc.NoSkip || opts.ForceNoSkip,
 	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 20_000_000
@@ -253,9 +272,13 @@ func buildReference(k *Kernel, cfg sim.Config, threads int) ([]refThread, *mem.M
 		k.Spec.Setup(refMem, base, p, func(r isa.Reg, v uint64) { ctx.Set(r, v) })
 	}
 	budget := uint64(k.MaxDyn)*2 + 4096
+	// One pre-decode of the kernel serves every thread: the golden side
+	// runs through the threaded-code interpreter, so the difftest matrix
+	// also cross-checks Precode lowering against the timed model.
+	pre := interp.Precode(k.Spec.Prog)
 	for th := 0; th < threads; th++ {
 		ref := &refs[th]
-		res := interp.Run(k.Spec.Prog, &ref.final, refMem, budget, func(e interp.TraceEntry) {
+		res := pre.Run(&ref.final, refMem, budget, func(e interp.TraceEntry) {
 			ref.entries = append(ref.entries, e)
 		})
 		if !res.Halted {

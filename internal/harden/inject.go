@@ -92,14 +92,17 @@ func NewInjector(plan FaultPlan, seed uint64, target *cache.Cache) *Injector {
 	return inj
 }
 
-// next advances the injector's splitmix64 stream.
-func (inj *Injector) next() uint64 {
-	inj.rng += 0x9e3779b97f4a7c15
-	z := inj.rng
+// splitmixNext advances a splitmix64 stream in place.
+func splitmixNext(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// next advances the injector's splitmix64 stream.
+func (inj *Injector) next() uint64 { return splitmixNext(&inj.rng) }
 
 // Access forwards a request to the cache, possibly rejecting it (busy
 // burst, blocked fill) or arming a delayed completion (jitter). A
@@ -175,6 +178,72 @@ func (inj *Injector) storm() {
 		if inj.target.Access(req) {
 			inj.Stats.StormFetches++
 		}
+	}
+}
+
+// NextFire reports the first cycle in (now, horizon] at which Tick would
+// do observable work: release a held completion, open a busy burst, or
+// fire an eviction storm. The dice for future cycles are previewed on a
+// copy of the RNG stream in exactly Tick's draw order, so the prediction
+// is bit-exact; the real draws happen in SkipTo and in the normal Tick at
+// the fire cycle. ok=false means nothing fires within the horizon.
+func (inj *Injector) NextFire(horizon uint64) (uint64, bool) {
+	ev, ok := uint64(0), false
+	if len(inj.delayed) > 0 {
+		c := inj.delayed[0].cycle
+		if c <= inj.now {
+			c = inj.now + 1
+		}
+		ev, ok = c, true
+		if c < horizon {
+			horizon = c
+		}
+	}
+	if inj.plan.BusyPermille > 0 || inj.plan.StormPermille > 0 {
+		rng := inj.rng
+		for c := inj.now + 1; c <= horizon; c++ {
+			fired := false
+			if inj.plan.BusyPermille > 0 && c >= inj.busyTill &&
+				int(splitmixNext(&rng)%1000) < inj.plan.BusyPermille {
+				fired = true
+			}
+			if !fired && inj.plan.StormPermille > 0 &&
+				int(splitmixNext(&rng)%1000) < inj.plan.StormPermille {
+				fired = true
+			}
+			if fired {
+				if !ok || c < ev {
+					ev, ok = c, true
+				}
+				break
+			}
+		}
+	}
+	return ev, ok
+}
+
+// SkipTo advances the injector's clock and RNG stream over the skipped
+// cycles (now, upTo], drawing exactly the dice each normally ticked cycle
+// would have drawn. The caller must have bounded the skip with NextFire:
+// none of the skipped cycles may fire.
+func (inj *Injector) SkipTo(upTo uint64) {
+	if len(inj.delayed) > 0 && inj.delayed[0].cycle <= upTo {
+		panic("harden: SkipTo across a held completion")
+	}
+	if inj.plan.BusyPermille > 0 || inj.plan.StormPermille > 0 {
+		for c := inj.now + 1; c <= upTo; c++ {
+			if inj.plan.BusyPermille > 0 && c >= inj.busyTill &&
+				int(inj.next()%1000) < inj.plan.BusyPermille {
+				panic("harden: SkipTo across a busy-burst fire")
+			}
+			if inj.plan.StormPermille > 0 &&
+				int(inj.next()%1000) < inj.plan.StormPermille {
+				panic("harden: SkipTo across an eviction-storm fire")
+			}
+		}
+	}
+	if upTo > inj.now {
+		inj.now = upTo
 	}
 }
 

@@ -43,6 +43,17 @@ func (w *Watchdog) Observe(cycle, totalCommitted uint64) bool {
 // LastProgress returns the cycle at which the committed count last moved.
 func (w *Watchdog) LastProgress() uint64 { return w.lastChange }
 
+// Deadline returns the cycle at which the zero-progress window elapses if
+// nothing commits, for clock skip-ahead: a skip must never jump past it,
+// so a livelock trips at exactly the same cycle as an unskipped run.
+// ok=false when the watchdog is disabled or has not observed yet.
+func (w *Watchdog) Deadline() (uint64, bool) {
+	if w.Window == 0 || !w.primed {
+		return 0, false
+	}
+	return w.lastChange + w.Window, true
+}
+
 // Dumper is implemented by register providers (and other components) that
 // can contribute their internal state to diagnostic dumps.
 type Dumper interface {

@@ -1,0 +1,268 @@
+package interp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/virec/virec/internal/asm"
+	"github.com/virec/virec/internal/isa"
+	"github.com/virec/virec/internal/mem"
+	"github.com/virec/virec/internal/workloads"
+)
+
+// splitmix64 gives the fuzz/equivalence harnesses deterministic register
+// and memory seeds.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// runBoth executes prog from identical initial state through the legacy
+// decode loop and both precoded loops (traced and superblock-fast) and
+// asserts architectural equivalence: trace streams entry-for-entry, final
+// Context bit-for-bit, Result, and final memory at every stored-to
+// address.
+func runBoth(t *testing.T, prog *asm.Program, seedCtx func(*Context), seedMem func(*mem.Memory), budget uint64) {
+	t.Helper()
+
+	newState := func() (*Context, *mem.Memory) {
+		var ctx Context
+		if seedCtx != nil {
+			seedCtx(&ctx)
+		}
+		m := mem.NewMemory()
+		if seedMem != nil {
+			seedMem(m)
+		}
+		return &ctx, m
+	}
+
+	// Legacy decode path (the reference).
+	refCtx, refMem := newState()
+	var refTrace []TraceEntry
+	refRes := Run(prog, refCtx, refMem, budget, func(e TraceEntry) { refTrace = append(refTrace, e) })
+
+	p := Precode(prog)
+
+	// Precoded, traced.
+	trCtx, trMem := newState()
+	var trTrace []TraceEntry
+	trRes := p.Run(trCtx, trMem, budget, func(e TraceEntry) { trTrace = append(trTrace, e) })
+
+	// Precoded, untraced superblock fast loop.
+	fsCtx, fsMem := newState()
+	fsRes := p.Run(fsCtx, fsMem, budget, nil)
+
+	if refRes != trRes || refRes != fsRes {
+		t.Fatalf("results diverge: legacy %+v, precoded traced %+v, precoded fast %+v", refRes, trRes, fsRes)
+	}
+	if len(refTrace) != len(trTrace) {
+		t.Fatalf("trace length: legacy %d, precoded %d", len(refTrace), len(trTrace))
+	}
+	for i := range refTrace {
+		a, b := refTrace[i], trTrace[i]
+		// Compare the instruction by value: the out-of-range halt is a
+		// distinct (but identical) shared instruction in each engine.
+		if *a.Inst != *b.Inst {
+			t.Fatalf("trace[%d]: inst %+v vs %+v", i, *a.Inst, *b.Inst)
+		}
+		a.Inst, b.Inst = nil, nil
+		if a != b {
+			t.Fatalf("trace[%d] (%v): legacy %+v, precoded %+v", i, refTrace[i].Inst.Op, a, b)
+		}
+	}
+	for name, got := range map[string]*Context{"traced": trCtx, "fast": fsCtx} {
+		if *got != *refCtx {
+			t.Fatalf("precoded %s final context diverges:\nlegacy: regs=%v flags=%+v pc=%d\ngot:    regs=%v flags=%+v pc=%d",
+				name, refCtx.Regs, refCtx.Flags, refCtx.PC, got.Regs, got.Flags, got.PC)
+		}
+	}
+	// Final memory must agree wherever the reference stored (overwrites
+	// included, since this compares final state), and neither precoded
+	// memory may have touched pages the reference did not.
+	for _, e := range refTrace {
+		if !e.Inst.IsStore() {
+			continue
+		}
+		size := e.Inst.MemBytes()
+		want := refMem.Read(e.Addr, size)
+		if got := trMem.Read(e.Addr, size); got != want {
+			t.Fatalf("traced memory at %#x: got %#x, want %#x", e.Addr, got, want)
+		}
+		if got := fsMem.Read(e.Addr, size); got != want {
+			t.Fatalf("fast memory at %#x: got %#x, want %#x", e.Addr, got, want)
+		}
+	}
+	if refMem.Footprint() != trMem.Footprint() || refMem.Footprint() != fsMem.Footprint() {
+		t.Fatalf("memory footprints diverge: legacy %d, traced %d, fast %d",
+			refMem.Footprint(), trMem.Footprint(), fsMem.Footprint())
+	}
+}
+
+// TestPrecodeMatchesLegacyOnWorkloads holds the threaded-code engine to
+// the legacy interpreter on every shipped kernel, with the kernel's own
+// Setup providing the initial architectural state.
+func TestPrecodeMatchesLegacyOnWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			p := workloads.Params{Iters: 48, Seed: 0x9e3779b97f4a7c15}
+			var entry [isa.NumRegs]uint64
+			setupMem := mem.NewMemory()
+			w.Setup(setupMem, 0x10000, p, func(r isa.Reg, v uint64) {
+				if r != isa.XZR {
+					entry[r] = v
+				}
+			})
+			runBoth(t, w.Prog,
+				func(ctx *Context) { ctx.Regs = entry },
+				func(m *mem.Memory) {
+					var scratch Context
+					w.Setup(m, 0x10000, p, func(r isa.Reg, v uint64) { scratch.Set(r, v) })
+				},
+				100_000_000)
+		})
+	}
+}
+
+// TestPrecodeBudgetExhaustion pins the mid-superblock budget-stop
+// semantics: the fast loop must stop at exactly the same instruction,
+// PC and register state as the legacy loop for every possible budget.
+func TestPrecodeBudgetExhaustion(t *testing.T) {
+	prog := asm.MustAssemble("budget", `
+		mov  x1, #7
+	loop:
+		add  x2, x2, x1
+		add  x3, x3, #3
+		sub  x4, x2, x3
+		cmp  x5, #2
+		add  x5, x5, #1
+		b.lt loop
+		halt
+	`)
+	for budget := uint64(0); budget <= 40; budget++ {
+		runBoth(t, prog, nil, nil, budget)
+	}
+}
+
+// TestPrecodeOutOfRangeEntry pins Program.At's out-of-range-pc-is-halt
+// contract, including negative PCs (a RET through a garbage register).
+func TestPrecodeOutOfRangeEntry(t *testing.T) {
+	prog := asm.MustAssemble("oor", `
+		add x1, x1, x2
+		halt
+	`)
+	for _, pc := range []int{-5, 2, 1000} {
+		pc := pc
+		runBoth(t, prog, func(ctx *Context) { ctx.PC = pc }, nil, 16)
+	}
+}
+
+// TestPrecodeXZRPinInvisible verifies the fast loop's pinned-zero XZR
+// slot is restored on every exit path and that a dirty Regs[XZR] value
+// neither leaks into execution nor is clobbered.
+func TestPrecodeXZRPinInvisible(t *testing.T) {
+	prog := asm.MustAssemble("xzr", `
+		add  x1, xzr, x2
+		str  x1, [x2]
+		ldr  xzr, [x2]
+		halt
+	`)
+	seed := func(ctx *Context) {
+		ctx.Regs[isa.XZR] = 0xdeadbeef // dirty slot: Get must still read 0
+		ctx.Regs[isa.X2] = 0x20000
+	}
+	runBoth(t, prog, seed, nil, 16)       // halt exit
+	runBoth(t, prog, seed, nil, 2)        // budget exit mid-superblock
+	runBoth(t, prog, func(ctx *Context) { // out-of-range halt exit
+		seed(ctx)
+		ctx.PC = 99
+	}, nil, 16)
+}
+
+// FuzzPrecode feeds random codec words through the shared decoder, then
+// requires pre-decode + threaded execution to match the legacy decode
+// path on the resulting program: same trace stream, same final state,
+// same memory effects. Words the codec rejects terminate the program for
+// both engines identically (there is exactly one decoder, exercised
+// here), so malformed encodings cannot diverge the paths.
+func FuzzPrecode(f *testing.F) {
+	chase, _ := workloads.ByName("chase")
+	var chaseBytes []byte
+	for i := range chase.Prog.Insts {
+		chaseBytes = chase.Prog.Insts[i].Encode(chaseBytes)
+	}
+	f.Add(chaseBytes, uint64(1))
+	f.Add([]byte{}, uint64(42))
+	var mk []byte
+	for _, in := range []isa.Inst{
+		{Op: isa.MOVZ, Rd: isa.X1, Imm: 0x1234, Shift: 1},
+		{Op: isa.MOVK, Rd: isa.X1, Imm: 0x9abc, Shift: 2},
+		{Op: isa.STRH, Rd: isa.X1, Rn: isa.X2, Mode: isa.AddrImm, Imm: 8},
+		{Op: isa.LDRSW, Rd: isa.X3, Rn: isa.X2, Rm: isa.X4, Mode: isa.AddrRegShift, Shift: 2},
+		{Op: isa.RET, Rn: isa.X30},
+	} {
+		in := in
+		mk = in.Encode(mk)
+	}
+	f.Add(mk, uint64(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, regSeed uint64) {
+		var insts []isa.Inst
+		for len(data) >= isa.EncodedBytes {
+			in, err := isa.Decode(data)
+			if err != nil {
+				break // malformed word: program ends here for both engines
+			}
+			insts = append(insts, in)
+			data = data[isa.EncodedBytes:]
+			if len(insts) >= 256 {
+				break
+			}
+		}
+		prog := &asm.Program{Name: "fuzz", Insts: insts}
+		seedCtx := func(ctx *Context) {
+			s := regSeed
+			for r := 0; r < isa.NumRegs; r++ {
+				// Small values keep computed addresses inside a modest
+				// page set; the pointer-shaped registers still roam.
+				ctx.Regs[r] = splitmix64(&s) % (1 << 20)
+			}
+			ctx.Regs[isa.XZR] = splitmix64(&s) // dirty slot must stay inert
+		}
+		seedMem := func(m *mem.Memory) {
+			s := regSeed ^ 0xc0ffee
+			for a := mem.Addr(0); a < 1<<12; a += 8 {
+				m.Write64(a, splitmix64(&s))
+			}
+		}
+		runBoth(t, prog, seedCtx, seedMem, 2048)
+	})
+}
+
+// TestPrecodeGoldenDump pins the micro-op lowering of a shipped kernel.
+// Any pre-decode change — new kinds, operand resolution, superblock run
+// lengths — shows up as a reviewed diff against the golden file.
+func TestPrecodeGoldenDump(t *testing.T) {
+	w, ok := workloads.ByName("chase")
+	if !ok {
+		t.Fatal("missing chase workload")
+	}
+	got := Precode(w.Prog).Dump()
+	golden := filepath.Join("testdata", "precode_chase.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("micro-op dump drifted from %s:\n--- want ---\n%s--- got ---\n%s", golden, want, got)
+	}
+}

@@ -469,6 +469,26 @@ func (c *Cache) Tick(cycle uint64) {
 	}
 }
 
+// NextEvent reports the earliest future cycle at which Tick would do real
+// work, assuming no intervening accesses: a queued fill retry or
+// writeback needs every cycle, otherwise the next due hit completion is
+// the deadline. ok=false means the cache is passive — any issued line
+// fills complete through the lower level's own events. Read-only; now
+// must be the last ticked cycle.
+func (c *Cache) NextEvent(now uint64) (uint64, bool) {
+	if len(c.fillRetryQ) > 0 || len(c.writebackQ) > 0 {
+		return now + 1, true
+	}
+	if len(c.pendingHits) > 0 {
+		ev := c.pendingHits[0].cycle
+		if ev <= now {
+			ev = now + 1
+		}
+		return ev, true
+	}
+	return 0, false
+}
+
 // PinnedLines returns the number of currently pinned lines (tests, stats).
 func (c *Cache) PinnedLines() int {
 	n := 0

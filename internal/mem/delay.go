@@ -93,5 +93,19 @@ func (d *DelayDevice) Tick(cycle uint64) {
 	}
 }
 
+// NextEvent reports the next due completion, assuming no intervening
+// accesses. ok=false means nothing is in flight. Read-only; now must be
+// the last ticked cycle.
+func (d *DelayDevice) NextEvent(now uint64) (uint64, bool) {
+	if len(d.pending) == 0 {
+		return 0, false
+	}
+	ev := d.pending[0].cycle
+	if ev <= now {
+		ev = now + 1
+	}
+	return ev, true
+}
+
 // Idle reports whether no requests are in flight.
 func (d *DelayDevice) Idle() bool { return len(d.pending) == 0 }

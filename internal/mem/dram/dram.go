@@ -344,6 +344,48 @@ func (d *DRAM) issueOne(ci int, cycle uint64) {
 	}
 }
 
+// NextEvent reports the earliest future cycle at which Tick would do real
+// work, assuming no intervening accesses: the next due completion, or the
+// first cycle any queued request inside the scheduling window clears its
+// bank-busy, bus and tFAW constraints. Those constraints only change when
+// an issue happens, so no issue can occur before the reported cycle.
+// ok=false means the controller is fully drained. Read-only; now must be
+// the last ticked cycle.
+func (d *DRAM) NextEvent(now uint64) (uint64, bool) {
+	ev, ok := uint64(0), false
+	if len(d.pending) > 0 {
+		ev, ok = d.pending[0].cycle, true
+	}
+	for ci := range d.channels {
+		c := &d.channels[ci]
+		window := len(c.queue)
+		if window > d.cfg.WindowSize {
+			window = d.cfg.WindowSize
+		}
+		for qi := 0; qi < window; qi++ {
+			e := c.queue[qi]
+			_, bk, row := d.route(e.req.Addr)
+			b := &c.banks[bk]
+			ready := b.busyUntil
+			if c.busFree > ready {
+				ready = c.busFree
+			}
+			if b.openRow != row {
+				if faw := c.acts[0] + int64(d.cfg.TFAW); faw > int64(ready) {
+					ready = uint64(faw)
+				}
+			}
+			if !ok || ready < ev {
+				ev, ok = ready, true
+			}
+		}
+	}
+	if ok && ev <= now {
+		ev = now + 1
+	}
+	return ev, ok
+}
+
 // QueueOccupancy returns the total number of queued (unissued) requests,
 // for tests and load monitoring.
 func (d *DRAM) QueueOccupancy() int {

@@ -146,6 +146,28 @@ func (x *Xbar) Tick(cycle uint64) {
 	}
 }
 
+// NextEvent reports the earliest future cycle at which Tick would do real
+// work, assuming no intervening accesses: arrived requests awaiting
+// forwarding bandwidth retry every cycle; otherwise the earliest in-flight
+// traversal (either direction) matures. ok=false means the crossbar is
+// idle. Read-only; now must be the last ticked cycle.
+func (x *Xbar) NextEvent(now uint64) (uint64, bool) {
+	if len(x.ready) > 0 {
+		return now + 1, true
+	}
+	ev, ok := uint64(0), false
+	if len(x.inQ) > 0 {
+		ev, ok = x.inQ[0].cycle, true
+	}
+	if len(x.respQ) > 0 && (!ok || x.respQ[0].cycle < ev) {
+		ev, ok = x.respQ[0].cycle, true
+	}
+	if ok && ev <= now {
+		ev = now + 1
+	}
+	return ev, ok
+}
+
 // Idle reports whether nothing is in flight through the crossbar.
 func (x *Xbar) Idle() bool {
 	return len(x.inQ) == 0 && len(x.respQ) == 0 && len(x.ready) == 0

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"github.com/virec/virec/internal/asm"
 	"github.com/virec/virec/internal/cpu"
 	"github.com/virec/virec/internal/cpu/regfile"
 	"github.com/virec/virec/internal/harden"
@@ -158,6 +159,15 @@ type Config struct {
 	// telemetry and oracle installation see the unwrapped provider.
 	WrapProvider func(coreID int, p cpu.Provider) cpu.Provider
 
+	// NoSkipAhead disables event-driven clock skip-ahead. With the
+	// default (skip enabled), the run loop jumps the clock over runs of
+	// cycles it can prove are pure stalls on every component — final
+	// architectural state, metrics and heartbeat streams are
+	// byte-identical either way (the skip-ahead equivalence suite and the
+	// difftest -skipahead=off lane hold this). Disabling forces the
+	// classic tick-every-cycle loop.
+	NoSkipAhead bool
+
 	MaxCycles uint64
 }
 
@@ -240,8 +250,18 @@ type System struct {
 	// Config.TraceEvents > 0.
 	Tracer *telemetry.Tracer
 
+	// skipped counts cycles the run loop jumped over instead of ticking.
+	// Deliberately not in the Registry: it is simulator-speed bookkeeping,
+	// and registering it would make skip and no-skip metric snapshots
+	// differ by construction.
+	skipped uint64
+
 	verifies [][]workloads.Verify
 }
+
+// SkipAheadCycles reports how many cycles the last Run jumped over via
+// clock skip-ahead (zero when disabled or never engaged).
+func (s *System) SkipAheadCycles() uint64 { return s.skipped }
 
 // Address-space layout: reserved register regions first, then per-thread
 // data slabs, all separated by odd line offsets to avoid pathological
@@ -419,16 +439,26 @@ func (s *System) recordOracles() {
 	if len(s.oracles) == 0 {
 		return
 	}
+	// Each distinct kernel is pre-decoded once; every thread then replays
+	// the threaded-code form. Belady oracles over mixes used to pay the
+	// fetch/decode interpreter per thread.
+	precoded := make(map[*asm.Program]*interp.Precoded)
 	for coreID, v := range s.oracles {
 		layout := s.layouts[coreID]
 		for th := 0; th < s.cfg.ThreadsPerCore; th++ {
+			prog := s.specFor(th).Prog
+			p := precoded[prog]
+			if p == nil {
+				p = interp.Precode(prog)
+				precoded[prog] = p
+			}
 			var ctx interp.Context
 			for r := isa.Reg(0); r < isa.NumRegs; r++ {
 				ctx.Set(r, s.Memory.Read64(layout.RegAddr(th, r)))
 			}
 			var seq []isa.Reg
 			var buf [6]isa.Reg
-			interp.Run(s.specFor(th).Prog, &ctx, s.Memory.Clone(), 100_000_000,
+			p.Run(&ctx, s.Memory.Clone(), 100_000_000,
 				func(e interp.TraceEntry) {
 					for _, r := range e.Inst.Regs(buf[:0]) {
 						if r != isa.XZR {
@@ -552,6 +582,15 @@ func (s *System) Run() (res *Result, err error) {
 	lastCommit := make([]uint64, len(s.Cores))
 	var hbPrev *telemetry.Snapshot
 	var hbSeq uint64
+	// skipProbe gates the skip-ahead attempt. Ticking is always correct,
+	// so a probe may be deferred freely: a failed probe (some component
+	// was busy) backs off exponentially up to 15 cycles, making busy
+	// phases pay the NextEvent scan on at most 1/16 of their cycles,
+	// while stall windows — typically a full memory latency long — are
+	// still caught within a few cycles of opening. A successful skip
+	// resets the backoff so a window capped at an observer boundary
+	// resumes skipping right after the boundary tick.
+	var skipProbe, skipBackoff uint64
 	for ; cycle < cfg.MaxCycles; cycle++ {
 		done := true
 		for _, c := range s.Cores {
@@ -614,6 +653,45 @@ func (s *System) Run() (res *Result, err error) {
 			hbSeq++
 			cfg.OnHeartbeat(d)
 		}
+		if !cfg.NoSkipAhead && cycle >= skipProbe {
+			if t := s.skipTarget(cycle, &wd); t <= cycle+1 {
+				skipBackoff = 2*skipBackoff + 1
+				if skipBackoff > 15 {
+					skipBackoff = 15
+				}
+				skipProbe = cycle + 1 + skipBackoff
+			} else {
+				// Cycles (cycle, t) are pure stalls on every component:
+				// ticking them would only advance stall counters and
+				// device clocks. Bulk-account them and resume at t.
+				last := t - 1
+				s.skipped += last - cycle
+				for _, c := range s.Cores {
+					c.SkipTo(last)
+				}
+				// One quiescent tick refreshes each device's internal
+				// clock so latency stamps taken at cycle t match an
+				// unskipped run; no queue head is due before t, so
+				// nothing else moves.
+				for _, dc := range s.DCaches {
+					dc.Tick(last)
+				}
+				for _, ic := range s.ICaches {
+					ic.Tick(last)
+				}
+				for _, inj := range s.Injectors {
+					inj.SkipTo(last)
+				}
+				s.Xbar.Tick(last)
+				if s.DRAM != nil {
+					s.DRAM.Tick(last)
+				} else {
+					s.fixed.Tick(last)
+				}
+				cycle = last
+				skipBackoff = 0
+			}
+		}
 	}
 	if cycle >= cfg.MaxCycles {
 		return nil, s.maxCyclesError(lastInsts, lastCommit)
@@ -663,6 +741,91 @@ func (s *System) Run() (res *Result, err error) {
 		cfg.OnHeartbeat(telemetry.DeltaFrom(hbPrev, res.Metrics, hbSeq))
 	}
 	return res, nil
+}
+
+// skipTarget returns the earliest cycle after now that must be ticked
+// normally. When it exceeds now+1, every cycle strictly between now and
+// the target is a provable pure stall system-wide: each core reports a
+// skippable state (Core.NextEvent), every memory device and injector has
+// no event due, and no watchdog deadline or periodic observer boundary
+// (invariant check, metrics, heartbeat) falls inside the window. The
+// loop may then jump the clock without changing any observable behavior.
+//
+//virec:hotpath
+func (s *System) skipTarget(now uint64, wd *harden.Watchdog) uint64 {
+	cfg := s.cfg
+	t := cfg.MaxCycles
+	if t <= now+1 {
+		return now + 1
+	}
+	for _, c := range s.Cores {
+		if ev, ok := c.NextEvent(now); ok {
+			if ev < t {
+				t = ev
+			}
+			if t <= now+1 {
+				return now + 1
+			}
+		}
+	}
+	if d, ok := wd.Deadline(); ok && d < t {
+		t = d
+	}
+	// Observer boundaries fire at cycle%k == k-1; the first such cycle at
+	// or after now+1 must be ticked so its snapshot/check happens exactly
+	// where an unskipped run would take it.
+	if k := cfg.Harden.CheckEvery; k > 0 {
+		if b := (now+1)/k*k + k - 1; b < t {
+			t = b
+		}
+	}
+	if k := cfg.MetricsEvery; k > 0 && cfg.OnMetrics != nil {
+		if b := (now+1)/k*k + k - 1; b < t {
+			t = b
+		}
+	}
+	if k := cfg.HeartbeatEvery; k > 0 && cfg.OnHeartbeat != nil {
+		if b := (now+1)/k*k + k - 1; b < t {
+			t = b
+		}
+	}
+	if t <= now+1 {
+		return now + 1
+	}
+	for _, dc := range s.DCaches {
+		if ev, ok := dc.NextEvent(now); ok && ev < t {
+			t = ev
+		}
+	}
+	for _, ic := range s.ICaches {
+		if ev, ok := ic.NextEvent(now); ok && ev < t {
+			t = ev
+		}
+	}
+	if ev, ok := s.Xbar.NextEvent(now); ok && ev < t {
+		t = ev
+	}
+	if s.DRAM != nil {
+		if ev, ok := s.DRAM.NextEvent(now); ok && ev < t {
+			t = ev
+		}
+	} else if ev, ok := s.fixed.NextEvent(now); ok && ev < t {
+		t = ev
+	}
+	if t <= now+1 {
+		return now + 1
+	}
+	// Injectors preview their RNG stream only up to the tightest bound
+	// found so far, so go last.
+	for _, inj := range s.Injectors {
+		if ev, ok := inj.NextFire(t - 1); ok && ev < t {
+			t = ev
+			if t <= now+1 {
+				return now + 1
+			}
+		}
+	}
+	return t
 }
 
 // Simulate is the one-call convenience: build and run.
